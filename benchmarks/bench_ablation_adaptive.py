@@ -1,0 +1,53 @@
+"""Ablation — static vs adaptive partitioning (§3.2 parameter (a)).
+
+The paper's reported runs fix the grain size; parameter (a) additionally
+limits each triangle's partition count by the number of processors its
+predecessors landed on.  This bench compares both modes.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import adaptive_block_mapping, block_mapping
+
+
+def test_report_adaptive(benchmark, lap30, dwt512, write_result):
+    def run():
+        rows = []
+        for name, prep in (("LAP30", lap30), ("DWT512", dwt512)):
+            for p in (4, 16, 32):
+                s = block_mapping(prep, p, grain=4)
+                a = adaptive_block_mapping(prep, p, grain=4)
+                rows.append(
+                    [
+                        name, p,
+                        s.partition.num_units, a.partition.num_units,
+                        s.traffic.total, a.traffic.total,
+                        round(s.balance.imbalance, 2),
+                        round(a.balance.imbalance, 2),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_adaptive.txt",
+        render_table(
+            ["matrix", "P", "units static", "units adaptive",
+             "traffic static", "traffic adaptive",
+             "lambda static", "lambda adaptive"],
+            rows,
+            "Ablation: static grain-only vs adaptive partitioning (g=4)",
+        ),
+    )
+    for r in rows:
+        assert r[3] <= r[2]  # parameter (a) never adds units
+    # On LAP30 the predecessor cap buys a traffic reduction at scale.
+    lap32 = next(r for r in rows if r[0] == "LAP30" and r[1] == 32)
+    assert lap32[5] < lap32[4]
+
+
+@pytest.mark.parametrize("nprocs", [4, 32])
+def test_bench_adaptive(benchmark, lap30, nprocs):
+    r = benchmark(lambda: adaptive_block_mapping(lap30, nprocs, grain=4))
+    assert r.balance.total == lap30.total_work

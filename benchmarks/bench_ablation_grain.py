@@ -1,0 +1,42 @@
+"""Ablation — fine grain-size sweep: the communication / load-balance
+trade-off curve the paper's Tables 2-3 sample at g = 4 and g = 25."""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import block_mapping
+
+GRAINS = (1, 2, 4, 8, 16, 25, 50, 100)
+
+
+def test_report_grain_sweep(benchmark, lap30, write_result):
+    def run():
+        rows = []
+        for g in GRAINS:
+            r = block_mapping(lap30, 16, grain=g)
+            rows.append(
+                [g, r.partition.num_units, r.traffic.total,
+                 round(r.traffic.mean), r.balance.imbalance]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_grain.txt",
+        render_table(
+            ["grain", "units", "traffic total", "traffic mean", "lambda"],
+            rows,
+            "Ablation: grain-size sweep (LAP30, P=16)",
+        ),
+    )
+    units = [r[1] for r in rows]
+    assert units == sorted(units, reverse=True)  # coarser -> fewer units
+    # Trade-off endpoints: coarse grain must cut traffic but cost balance.
+    assert rows[-1][2] < rows[0][2]
+    assert rows[-1][4] > rows[0][4]
+
+
+@pytest.mark.parametrize("grain", [1, 100])
+def test_bench_grain_extremes(benchmark, lap30, grain):
+    r = benchmark(lambda: block_mapping(lap30, 16, grain=grain))
+    assert r.balance.total == lap30.total_work

@@ -1,0 +1,57 @@
+"""Ablation — column-mapping family: wrap vs block-cyclic vs block scheme.
+
+Extends Table 5 with block-cyclic column mappings (the natural
+interpolation between wrap and blocked columns) to show where the
+paper's block-based scheme sits.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import block_cyclic_columns, block_mapping, two_d_cyclic
+from repro.machine import data_traffic, load_balance, processor_work
+
+
+def test_report_mapping_family(benchmark, lap30, write_result):
+    def run():
+        rows = []
+        nprocs = 16
+        for block in (1, 2, 4, 8):
+            a = block_cyclic_columns(lap30.pattern, nprocs, block)
+            t = data_traffic(a, lap30.updates)
+            lb = load_balance(processor_work(a, lap30.updates))
+            rows.append([a.scheme, t.total, round(t.mean), lb.imbalance])
+        a2d = two_d_cyclic(lap30.pattern, 4, 4)
+        t2d = data_traffic(a2d, lap30.updates)
+        lb2d = load_balance(processor_work(a2d, lap30.updates))
+        rows.append([a2d.scheme, t2d.total, round(t2d.mean), lb2d.imbalance])
+        for g in (4, 25):
+            r = block_mapping(lap30, nprocs, grain=g)
+            rows.append(
+                [f"block(g={g})", r.traffic.total, round(r.traffic.mean),
+                 r.balance.imbalance]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_mappings.txt",
+        render_table(
+            ["scheme", "traffic total", "traffic mean", "lambda"],
+            rows,
+            "Ablation: column-mapping family (LAP30, P=16)",
+        ),
+    )
+    wrap_traffic = rows[0][1]
+    block25_traffic = next(r[1] for r in rows if r[0] == "block(g=25)")
+    assert block25_traffic < wrap_traffic
+
+
+@pytest.mark.parametrize("block", [1, 4])
+def test_bench_block_cyclic(benchmark, lap30, block):
+    def run():
+        a = block_cyclic_columns(lap30.pattern, 16, block)
+        return data_traffic(a, lap30.updates)
+
+    t = benchmark(run)
+    assert t.total > 0

@@ -1,0 +1,48 @@
+"""Ablation — dependent-column placement policy.
+
+The paper allocates a dependent column to a processor "arbitrarily
+picked" from its predecessors' processors.  This bench compares the
+three policies exposed by the scheduler on traffic and balance.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import SchedulerOptions, block_mapping
+
+POLICIES = ("first", "least_loaded", "round_robin")
+
+
+def test_report_policy_ablation(benchmark, lap30, dwt512, write_result):
+    def run():
+        rows = []
+        for name, prep in (("LAP30", lap30), ("DWT512", dwt512)):
+            for policy in POLICIES:
+                r = block_mapping(
+                    prep, 16, grain=4, options=SchedulerOptions(policy)
+                )
+                rows.append(
+                    [name, policy, r.traffic.total, r.balance.imbalance]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_policy.txt",
+        render_table(
+            ["matrix", "policy", "traffic total", "lambda"],
+            rows,
+            "Ablation: dependent-column placement policy (P=16, g=4)",
+        ),
+    )
+    # All policies must be valid schedules conserving work.
+    for name_rows in (rows[:3], rows[3:]):
+        assert len({r[0] for r in name_rows}) == 1
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_bench_policy(benchmark, lap30, policy):
+    r = benchmark(
+        lambda: block_mapping(lap30, 16, grain=4, options=SchedulerOptions(policy))
+    )
+    assert r.balance.total == lap30.total_work

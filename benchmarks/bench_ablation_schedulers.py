@@ -1,0 +1,72 @@
+"""Ablation — where the §3.4 scheduler sits between pure load balance
+(LPT) and pure data affinity.
+
+The paper's conclusion invites "more sophisticated scheduling
+strategies"; this bench shows the §3.4 strategy already navigates
+between the two extremes of the design space on the same partition.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import block_mapping, schedule_affinity, schedule_lpt
+from repro.machine import data_traffic, load_balance, processor_work, unit_work
+
+
+def test_report_scheduler_extremes(benchmark, lap30, write_result):
+    def run():
+        rows = []
+        for p in (16, 32):
+            r = block_mapping(lap30, p, grain=25)
+            uw = unit_work(r.partition, lap30.updates)
+            variants = {
+                "paper §3.4": r.assignment,
+                "LPT (pure balance)": schedule_lpt(r.partition, p, uw),
+                "affinity (pure locality)": schedule_affinity(
+                    r.partition, r.dependencies, p, lap30.updates, uw
+                ),
+            }
+            for name, a in variants.items():
+                t = data_traffic(a, lap30.updates)
+                lb = load_balance(processor_work(a, lap30.updates))
+                rows.append([p, name, t.total, round(lb.imbalance, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_schedulers.txt",
+        render_table(
+            ["P", "scheduler", "traffic total", "lambda"],
+            rows,
+            "Ablation: §3.4 vs the scheduling extremes (LAP30, g=25)",
+        ),
+    )
+    for p in (16, 32):
+        cells = {r[1]: r for r in rows if r[0] == p}
+        assert (
+            cells["affinity (pure locality)"][2]
+            <= cells["paper §3.4"][2]
+            <= cells["LPT (pure balance)"][2]
+        )
+        assert (
+            cells["LPT (pure balance)"][3]
+            <= cells["paper §3.4"][3]
+            <= cells["affinity (pure locality)"][3]
+        )
+
+
+def test_bench_lpt(benchmark, lap30):
+    r = block_mapping(lap30, 16, grain=25)
+    uw = unit_work(r.partition, lap30.updates)
+    a = benchmark(lambda: schedule_lpt(r.partition, 16, uw))
+    assert a.nprocs == 16
+
+
+def test_bench_affinity(benchmark, lap30):
+    r = block_mapping(lap30, 16, grain=25)
+    a = benchmark(
+        lambda: schedule_affinity(
+            r.partition, r.dependencies, 16, lap30.updates
+        )
+    )
+    assert a.nprocs == 16

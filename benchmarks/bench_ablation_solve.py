@@ -1,0 +1,52 @@
+"""Ablation — the triangular-solve phase (paper's conclusion remark).
+
+Quantifies "other computations such as triangular solves can provide
+additional flexibility in balancing the load": solve-phase work is
+proportional to nnz per processor rather than to the quadratic update
+counts, so the two phases have different balance profiles.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import block_mapping, wrap_mapping
+from repro.machine import solve_balance, solve_traffic
+
+
+def test_report_solve_phase(benchmark, lap30, write_result):
+    def run():
+        rows = []
+        for p in (4, 16, 32):
+            blk = block_mapping(lap30, p, grain=25)
+            wrp = wrap_mapping(lap30, p)
+            for name, r in (("block g=25", blk), ("wrap", wrp)):
+                st = solve_traffic(r.assignment)
+                sb = solve_balance(r.assignment)
+                rows.append(
+                    [name, p,
+                     r.traffic.total, round(r.balance.imbalance, 2),
+                     st.total, round(sb.imbalance, 2)]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_solve.txt",
+        render_table(
+            ["scheme", "P", "factor traffic", "factor lambda",
+             "solve traffic", "solve lambda"],
+            rows,
+            "Ablation: factorization vs triangular-solve phase (LAP30)",
+        ),
+    )
+    # The block scheme still communicates less in the solve phase.
+    for p in (16, 32):
+        blk = next(r for r in rows if r[0] == "block g=25" and r[1] == p)
+        wrp = next(r for r in rows if r[0] == "wrap" and r[1] == p)
+        assert blk[4] < wrp[4]
+
+
+def test_bench_solve_metrics(benchmark, lap30):
+    r = block_mapping(lap30, 16, grain=25)
+    t = benchmark(lambda: solve_traffic(r.assignment))
+    assert t.total > 0

@@ -1,0 +1,56 @@
+"""Ablation — zero tolerance in cluster formation.
+
+The paper admits "small regions that correspond to zeros" into dense
+blocks to obtain larger clusters.  This bench sweeps the tolerance and
+reports cluster count, padding, traffic and balance.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import block_mapping
+
+TOLERANCES = (0.0, 0.05, 0.15, 0.3)
+
+
+def test_report_zero_tolerance(benchmark, lap30, write_result):
+    def run():
+        rows = []
+        for tol in TOLERANCES:
+            r = block_mapping(lap30, 16, grain=4, zero_tolerance=tol)
+            multi = [c for c in r.partition.clusters if not c.is_column]
+            rows.append(
+                [
+                    tol,
+                    len(r.partition.clusters),
+                    len(multi),
+                    r.partition.clusters.total_triangle_padding(),
+                    r.partition.clusters.total_padding(),
+                    r.traffic.total,
+                    r.balance.imbalance,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "ablation_zeros.txt",
+        render_table(
+            ["tolerance", "clusters", "multi-col", "tri padding",
+             "total padding", "traffic total", "lambda"],
+            rows,
+            "Ablation: cluster zero-tolerance (LAP30, P=16, g=4)",
+        ),
+    )
+    # Strict tolerance admits no zeros into the triangles; a looser one
+    # merges strips (no more clusters) at the cost of padding.
+    assert rows[0][3] == 0
+    assert rows[-1][1] <= rows[0][1]
+    assert rows[-1][3] >= rows[0][3]
+    assert rows[-1][4] >= rows[0][4]
+
+
+@pytest.mark.parametrize("tol", [0.0, 0.3])
+def test_bench_zero_tolerance(benchmark, lap30, tol):
+    r = benchmark(lambda: block_mapping(lap30, 16, grain=4, zero_tolerance=tol))
+    assert r.balance.total == lap30.total_work

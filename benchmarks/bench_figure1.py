@@ -1,0 +1,18 @@
+"""Figure 1 — the element-level dependency diagram, plus a benchmark of
+the update enumeration that materializes it."""
+
+import pytest
+
+from repro.analysis import figure1_ascii
+from repro.symbolic import enumerate_updates
+
+
+def test_report_figure1(benchmark, write_result):
+    out = benchmark.pedantic(figure1_ascii, rounds=1, iterations=1)
+    write_result("figure1.txt", out)
+    assert "T = target element" in out
+
+
+def test_bench_enumerate_updates_lap30(benchmark, lap30):
+    ups = benchmark(lambda: enumerate_updates(lap30.pattern))
+    assert ups.total_work() == lap30.total_work

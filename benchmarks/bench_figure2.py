@@ -1,0 +1,19 @@
+"""Figure 2 — the filled matrix of an MMD-ordered 5-point grid."""
+
+import pytest
+
+from repro.analysis import figure2_ascii
+from repro.core import prepare
+from repro.sparse import grid5
+
+
+def test_report_figure2(benchmark, write_result):
+    out = benchmark.pedantic(lambda: figure2_ascii(5, 5), rounds=1, iterations=1)
+    write_result("figure2.txt", out)
+    assert "fill=" in out
+
+
+def test_bench_figure2_pipeline(benchmark):
+    graph = grid5(8, 8)
+    prep = benchmark(lambda: prepare(graph))
+    assert prep.factor_nnz > graph.nnz_lower

@@ -1,0 +1,17 @@
+"""Figure 3 — a cluster partitioned into unit blocks."""
+
+import pytest
+
+from repro.analysis import figure3_ascii
+from repro.core import partition_factor
+
+
+def test_report_figure3(benchmark, write_result):
+    out = benchmark.pedantic(figure3_ascii, rounds=1, iterations=1)
+    write_result("figure3.txt", out)
+    assert "triangle" in out and "rectangle" in out
+
+
+def test_bench_partition_lap30(benchmark, lap30):
+    part = benchmark(lambda: partition_factor(lap30.pattern, grain=4, min_width=4))
+    assert part.num_units > 0

@@ -1,0 +1,20 @@
+"""Figure 4 — occurrence of the ten dependency categories."""
+
+import pytest
+
+from repro.analysis import figure4_report
+from repro.core import analyze_dependencies, partition_factor
+
+
+def test_report_figure4(benchmark, write_result):
+    out = benchmark.pedantic(
+        lambda: figure4_report("LAP30", grain=25), rounds=1, iterations=1
+    )
+    write_result("figure4.txt", out)
+    assert "two rectangles update a rectangle" in out
+
+
+def test_bench_dependency_analysis(benchmark, lap30):
+    part = partition_factor(lap30.pattern, grain=25, min_width=4)
+    deps = benchmark(lambda: analyze_dependencies(part, lap30.updates))
+    assert deps.num_edges() > 0

@@ -1,0 +1,58 @@
+"""Scaling study — the LAP family (9-point Laplacians) at growing order.
+
+Beyond the paper's fixed LAP30: how do traffic, λ and the block scheme's
+saving over wrap scale with problem size at fixed P and grain?
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import block_mapping, prepare, wrap_mapping
+from repro.sparse import grid9
+
+SIZES = (10, 20, 30, 40)
+
+
+def test_report_scaling(benchmark, write_result):
+    def run():
+        rows = []
+        for m in SIZES:
+            prep = prepare(grid9(m, m), name=f"LAP{m}")
+            blk = block_mapping(prep, 16, grain=25)
+            wrp = wrap_mapping(prep, 16)
+            saving = 1 - blk.traffic.total / wrp.traffic.total
+            rows.append(
+                [f"LAP{m}", m * m, prep.factor_nnz,
+                 blk.traffic.total, wrp.traffic.total,
+                 f"{100 * saving:.0f}%",
+                 round(blk.balance.imbalance, 2),
+                 round(wrp.balance.imbalance, 2)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "scaling.txt",
+        render_table(
+            ["problem", "n", "nnz(L)", "block traffic", "wrap traffic",
+             "saving", "block lambda", "wrap lambda"],
+            rows,
+            "Scaling of the block-vs-wrap trade-off (9-point Laplacians, "
+            "P=16, g=25)",
+        ),
+    )
+    # The block saving must persist (not vanish) as the problem grows.
+    savings = [float(r[5].rstrip("%")) for r in rows[1:]]
+    assert all(s > 20 for s in savings)
+
+
+@pytest.mark.parametrize("m", [20, 40])
+def test_bench_scaling_pipeline(benchmark, m):
+    graph = grid9(m, m)
+
+    def run():
+        prep = prepare(graph, name=f"LAP{m}")
+        return block_mapping(prep, 16, grain=25)
+
+    r = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert r.traffic.total > 0

@@ -1,0 +1,70 @@
+"""Performance benchmarks of the substrate stages on the paper matrices.
+
+Not a paper table — a performance-regression harness for the pipeline
+stages: ordering, symbolic factorization, update enumeration,
+partitioning and dependency analysis.
+"""
+
+import pytest
+
+from repro.core import analyze_dependencies, partition_factor
+from repro.ordering import (
+    approximate_minimum_degree,
+    multiple_minimum_degree,
+    reverse_cuthill_mckee,
+)
+from repro.sparse import load, names
+from repro.symbolic import enumerate_updates, symbolic_cholesky
+
+
+@pytest.fixture(scope="module", params=["LAP30", "CANN1072"])
+def matrix(request):
+    return request.param, load(request.param)
+
+
+def test_bench_mmd(benchmark, matrix):
+    name, g = matrix
+    perm = benchmark(lambda: multiple_minimum_degree(g))
+    assert len(perm) == g.n
+
+
+def test_bench_amd(benchmark, matrix):
+    name, g = matrix
+    perm = benchmark(lambda: approximate_minimum_degree(g))
+    assert len(perm) == g.n
+
+
+def test_bench_rcm(benchmark, matrix):
+    name, g = matrix
+    perm = benchmark(lambda: reverse_cuthill_mckee(g))
+    assert len(perm) == g.n
+
+
+def test_bench_symbolic(benchmark, matrix):
+    name, g = matrix
+    perm = multiple_minimum_degree(g)
+    f = benchmark(lambda: symbolic_cholesky(g, perm))
+    assert f.nnz >= g.nnz_lower
+
+
+def test_bench_enumerate_updates(benchmark, matrix):
+    name, g = matrix
+    pattern = symbolic_cholesky(g, multiple_minimum_degree(g)).pattern
+    ups = benchmark(lambda: enumerate_updates(pattern))
+    assert ups.num_pair_updates > 0
+
+
+def test_bench_partition(benchmark, matrix):
+    name, g = matrix
+    pattern = symbolic_cholesky(g, multiple_minimum_degree(g)).pattern
+    part = benchmark(lambda: partition_factor(pattern, grain=4, min_width=4))
+    assert part.num_units > 0
+
+
+def test_bench_dependencies(benchmark, matrix):
+    name, g = matrix
+    pattern = symbolic_cholesky(g, multiple_minimum_degree(g)).pattern
+    part = partition_factor(pattern, grain=4, min_width=4)
+    ups = enumerate_updates(pattern)
+    deps = benchmark(lambda: analyze_dependencies(part, ups))
+    assert deps.num_edges() > 0

@@ -1,0 +1,27 @@
+"""Table 1 — the test matrices: n, nnz(A), nnz(L) under MMD.
+
+Regenerates the paper's Table 1 side by side with the measured values,
+and benchmarks the prepare stage (MMD ordering + symbolic factorization)
+for each matrix.
+"""
+
+import pytest
+
+from repro.analysis import render_table1, table1_rows
+from repro.core import prepare
+from repro.sparse import load, names
+
+
+def test_report_table1(benchmark, write_result):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    write_result("table1.txt", render_table1())
+    for r in rows:
+        assert r["n"] == r["paper_n"]
+        assert abs(r["factor_nnz"] - r["paper_factor_nnz"]) <= 0.2 * r["paper_factor_nnz"]
+
+
+@pytest.mark.parametrize("name", names())
+def test_bench_prepare(benchmark, name):
+    graph = load(name)
+    prep = benchmark(lambda: prepare(graph, name=name))
+    assert prep.factor_nnz >= graph.nnz_lower

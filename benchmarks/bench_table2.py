@@ -1,0 +1,40 @@
+"""Table 2 — block mapping communication (total & mean data traffic).
+
+Sweeps g in {4, 25} x P in {4, 16, 32} over the five test matrices,
+prints the table next to the paper's numbers, and benchmarks the block
+mapping pipeline at representative cells.
+"""
+
+import pytest
+
+from repro.analysis import paper_data, render_table2, table2_rows
+from repro.analysis.experiments import prepared_matrix
+from repro.core import block_mapping
+
+
+def test_report_table2(benchmark, write_result):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    write_result("table2.txt", render_table2())
+    for r in rows:
+        # Traffic grows with processor count within each matrix/grain.
+        assert r["total_g4"] > 0 and r["total_g25"] > 0
+    # Shape: larger grain reduces traffic at P >= 16 for the mesh problems.
+    for name in ("LAP30", "LSHP1009", "CANN1072"):
+        for p in (16, 32):
+            row = next(
+                x for x in rows if x["matrix"] == name and x["nprocs"] == p
+            )
+            assert row["total_g25"] < row["total_g4"]
+
+
+@pytest.mark.parametrize("grain", [4, 25])
+@pytest.mark.parametrize("nprocs", [4, 16, 32])
+def test_bench_block_mapping_lap30(benchmark, lap30, grain, nprocs):
+    result = benchmark(lambda: block_mapping(lap30, nprocs, grain=grain))
+    assert result.traffic.total > 0
+
+
+def test_bench_block_mapping_cann(benchmark):
+    prep = prepared_matrix("CANN1072")
+    result = benchmark(lambda: block_mapping(prep, 32, grain=25))
+    assert result.traffic.total > 0

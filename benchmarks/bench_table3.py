@@ -1,0 +1,37 @@
+"""Table 3 — block mapping work distribution (mean work and λ).
+
+Same sweep as Table 2; reports the load-imbalance factor for g = 4 and
+g = 25 and benchmarks the work-accounting stage.
+"""
+
+import pytest
+
+from repro.analysis import render_table3, table3_rows
+from repro.core import block_mapping
+from repro.machine import load_balance, processor_work
+
+
+def test_report_table3(benchmark, write_result):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    write_result("table3.txt", render_table3())
+    for r in rows:
+        assert r["imbalance_g4"] >= 0.0
+        assert r["imbalance_g25"] >= 0.0
+    # Shape: for the fill-heavy mesh problems at scale, the larger grain
+    # worsens balance.
+    for name in ("LAP30", "LSHP1009"):
+        row = next(
+            x for x in rows if x["matrix"] == name and x["nprocs"] == 32
+        )
+        assert row["imbalance_g25"] > row["imbalance_g4"]
+
+
+@pytest.mark.parametrize("nprocs", [4, 32])
+def test_bench_work_accounting(benchmark, lap30, nprocs):
+    r = block_mapping(lap30, nprocs, grain=4)
+
+    def measure():
+        return load_balance(processor_work(r.assignment, lap30.updates))
+
+    lb = benchmark(measure)
+    assert lb.total == lap30.total_work

@@ -1,0 +1,27 @@
+"""Table 4 — LAP30 variation with minimum cluster width (g = 4).
+
+Sweeps width in {2, 4, 8} x P in {4, 16, 32} and benchmarks the cluster
+identification stage at each width.
+"""
+
+import pytest
+
+from repro.analysis import render_table4, table4_rows
+from repro.core import find_clusters
+
+
+def test_report_table4(benchmark, write_result):
+    rows = benchmark.pedantic(table4_rows, rounds=1, iterations=1)
+    write_result("table4.txt", render_table4())
+    totals = {(r["width"], r["nprocs"]): r["total"] for r in rows}
+    # The width sweep must actually change the partitioning.
+    assert len({totals[(w, 16)] for w in (2, 4, 8)}) > 1
+    # Work mean is width-invariant (total work conserved).
+    means = {r["work_mean"] for r in rows if r["nprocs"] == 16}
+    assert len(means) == 1
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_bench_find_clusters(benchmark, lap30, width):
+    cs = benchmark(lambda: find_clusters(lap30.pattern, min_width=width))
+    assert len(cs) > 0

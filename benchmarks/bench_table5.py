@@ -1,0 +1,24 @@
+"""Table 5 — wrap mapping (traffic, mean work, λ) for P in {1, 4, 16, 32}."""
+
+import pytest
+
+from repro.analysis import render_table5, table5_rows
+from repro.core import wrap_mapping
+
+
+def test_report_table5(benchmark, write_result):
+    rows = benchmark.pedantic(table5_rows, rounds=1, iterations=1)
+    write_result("table5.txt", render_table5())
+    for r in rows:
+        if r["nprocs"] == 1:
+            assert r["total"] == 0
+            assert r["imbalance"] == 0.0
+        else:
+            # The wrap mapping balances well everywhere (paper's headline).
+            assert r["imbalance"] < 0.6
+
+
+@pytest.mark.parametrize("nprocs", [1, 4, 16, 32])
+def test_bench_wrap_mapping_lap30(benchmark, lap30, nprocs):
+    r = benchmark(lambda: wrap_mapping(lap30, nprocs))
+    assert r.balance.total == lap30.total_work

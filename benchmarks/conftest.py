@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures: prepared matrices and a results sink."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Persist a rendered table/figure under benchmarks/results/."""
+
+    def _write(name: str, content: str) -> None:
+        (results_dir / name).write_text(content + "\n")
+        print(f"\n{content}\n")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def lap30():
+    from repro.analysis.experiments import prepared_matrix
+
+    return prepared_matrix("LAP30")
+
+
+@pytest.fixture(scope="session")
+def dwt512():
+    from repro.analysis.experiments import prepared_matrix
+
+    return prepared_matrix("DWT512")

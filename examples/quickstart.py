@@ -1,0 +1,56 @@
+"""Quickstart: partition, schedule and measure a sparse factorization.
+
+Reproduces the paper's core comparison on LAP30 (the 9-point Laplacian
+on a 30x30 grid): the block-based partitioner/scheduler versus the
+wrap-mapped column assignment, measured in data traffic and load
+imbalance.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import block_mapping, load, prepare, wrap_mapping
+from repro.analysis import render_table
+
+
+def main() -> None:
+    # 1. Build the test structure and run ordering + symbolic
+    #    factorization once (shared by every mapping below).
+    graph = load("LAP30")
+    prep = prepare(graph, ordering="mmd", name="LAP30")
+    print(
+        f"LAP30: n={graph.n}, nnz(A)={graph.nnz_lower}, "
+        f"nnz(L)={prep.factor_nnz}, total work={prep.total_work}"
+    )
+
+    # 2. Sweep both schemes over processor counts.
+    rows = []
+    for nprocs in (4, 16, 32):
+        blk = block_mapping(prep, nprocs, grain=25, min_width=4)
+        wrp = wrap_mapping(prep, nprocs)
+        rows.append(
+            [
+                nprocs,
+                blk.traffic.total,
+                wrp.traffic.total,
+                f"{100 * (1 - blk.traffic.total / wrp.traffic.total):.0f}%",
+                round(blk.balance.imbalance, 2),
+                round(wrp.balance.imbalance, 2),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["P", "block traffic", "wrap traffic", "saving",
+             "block lambda", "wrap lambda"],
+            rows,
+            "Block (g=25) vs wrap mapping on LAP30 — the paper's trade-off",
+        )
+    )
+    print(
+        "\nThe block scheme cuts communication sharply; the wrap scheme "
+        "keeps the load near-perfectly balanced."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Grain-size trade-off study on any of the paper's test matrices.
+
+Sweeps the grain size g and prints the communication / load-balance
+trade-off curve with a small ASCII chart — the continuous version of the
+paper's Tables 2-3 (which sample g = 4 and g = 25).
+
+Run:  python examples/tradeoff_sweep.py [MATRIX] [NPROCS]
+      python examples/tradeoff_sweep.py CANN1072 32
+"""
+
+import sys
+
+from repro import block_mapping, load, prepare
+from repro.analysis import render_table
+
+
+def bar(value: float, maximum: float, width: int = 30) -> str:
+    n = 0 if maximum == 0 else round(width * value / maximum)
+    return "#" * n
+
+
+def main(matrix: str = "LSHP1009", nprocs: int = 16) -> None:
+    prep = prepare(load(matrix), name=matrix)
+    grains = (1, 2, 4, 8, 16, 25, 50, 100, 200)
+    results = [(g, block_mapping(prep, nprocs, grain=g)) for g in grains]
+
+    max_traffic = max(r.traffic.total for _, r in results)
+    max_lam = max(r.balance.imbalance for _, r in results)
+    rows = [
+        [
+            g,
+            r.partition.num_units,
+            r.traffic.total,
+            bar(r.traffic.total, max_traffic, 20),
+            round(r.balance.imbalance, 2),
+            bar(r.balance.imbalance, max_lam, 20),
+        ]
+        for g, r in results
+    ]
+    print(
+        render_table(
+            ["grain", "units", "traffic", "traffic bar", "lambda", "lambda bar"],
+            rows,
+            f"Communication vs load balance on {matrix}, P={nprocs}",
+        )
+    )
+    best_traffic = min(results, key=lambda t: t[1].traffic.total)
+    best_balance = min(results, key=lambda t: t[1].balance.imbalance)
+    print(
+        f"\nlowest traffic at g={best_traffic[0]}, "
+        f"best balance at g={best_balance[0]} — pick per machine "
+        "(communication-dominated machines favour large grains)."
+    )
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        args[0] if args else "LSHP1009",
+        int(args[1]) if len(args) > 1 else 16,
+    )

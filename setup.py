@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools lacks the `wheel` package required by PEP 660 editable wheels
+(pip install -e . falls back to `setup.py develop` here)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""ASCII Gantt chart of a simulated schedule.
+
+Renders the :class:`~repro.machine.simulate.ScheduleTimeline` of a block
+schedule as one row per processor, with '#' for busy time and '.' for
+idle time — a quick visual of where the dependency delays bite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.assignment import Assignment
+from ..machine.simulate import ScheduleTimeline
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    assignment: Assignment,
+    timeline: ScheduleTimeline,
+    width: int = 72,
+) -> str:
+    """Render the timeline as an ASCII Gantt chart of ``width`` columns."""
+    if assignment.proc_of_unit is None:
+        raise ValueError("gantt chart requires a block assignment")
+    if width < 10:
+        raise ValueError("width must be at least 10 columns")
+    nprocs = assignment.nprocs
+    makespan = timeline.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    scale = width / makespan
+
+    busy = np.zeros((nprocs, width), dtype=bool)
+    for u in range(len(timeline.start)):
+        p = int(assignment.proc_of_unit[u])
+        a = int(timeline.start[u] * scale)
+        b = int(np.ceil(timeline.finish[u] * scale))
+        busy[p, a : max(b, a + (timeline.finish[u] > timeline.start[u]))] = True
+
+    lines = [
+        f"Schedule Gantt ({assignment.scheme}, P={nprocs}); makespan "
+        f"{makespan:.0f}, idle {100 * timeline.idle_fraction:.0f}%",
+        " " * 5 + "0" + " " * (width - len(str(int(makespan))) - 1)
+        + str(int(makespan)),
+    ]
+    for p in range(nprocs):
+        row = "".join("#" if busy[p, c] else "." for c in range(width))
+        util = timeline.proc_busy[p] / makespan
+        lines.append(f"p{p:<3d} {row} {100 * util:3.0f}%")
+    return "\n".join(lines)

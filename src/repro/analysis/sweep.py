@@ -1,0 +1,105 @@
+"""Generic parameter sweeps with CSV export.
+
+A thin harness over the pipeline for users exploring the design space
+beyond the paper's sampled points: every combination of scheme, grain,
+minimum cluster width and processor count becomes one record.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+
+from ..core.pipeline import (
+    PreparedMatrix,
+    adaptive_block_mapping,
+    block_mapping,
+    wrap_mapping,
+)
+
+__all__ = ["SweepRecord", "sweep", "records_to_csv"]
+
+_SCHEMES = ("block", "block-adaptive", "wrap")
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One measured cell of a sweep."""
+
+    matrix: str
+    scheme: str
+    nprocs: int
+    grain: int | None
+    min_width: int | None
+    traffic_total: int
+    traffic_mean: float
+    work_max: int
+    imbalance: float
+    units: int | None
+
+    @classmethod
+    def fields(cls) -> list[str]:
+        return [
+            "matrix", "scheme", "nprocs", "grain", "min_width",
+            "traffic_total", "traffic_mean", "work_max", "imbalance", "units",
+        ]
+
+
+def sweep(
+    prepared: PreparedMatrix,
+    schemes=("block", "wrap"),
+    procs=(4, 16, 32),
+    grains=(4, 25),
+    min_widths=(4,),
+) -> list[SweepRecord]:
+    """Measure every combination; wrap ignores grain/min_width."""
+    for s in schemes:
+        if s not in _SCHEMES:
+            raise ValueError(f"unknown scheme {s!r}; expected one of {_SCHEMES}")
+    records: list[SweepRecord] = []
+    for nprocs in procs:
+        for scheme in schemes:
+            if scheme == "wrap":
+                r = wrap_mapping(prepared, nprocs)
+                records.append(_record(prepared, r, nprocs, None, None))
+                continue
+            runner = block_mapping if scheme == "block" else adaptive_block_mapping
+            for grain in grains:
+                for width in min_widths:
+                    r = runner(prepared, nprocs, grain=grain, min_width=width)
+                    records.append(_record(prepared, r, nprocs, grain, width))
+    return records
+
+
+def _record(prepared, result, nprocs, grain, width) -> SweepRecord:
+    return SweepRecord(
+        matrix=prepared.name,
+        scheme=result.scheme,
+        nprocs=nprocs,
+        grain=grain,
+        min_width=width,
+        traffic_total=result.traffic.total,
+        traffic_mean=result.traffic.mean,
+        work_max=result.balance.max,
+        imbalance=result.balance.imbalance,
+        units=result.partition.num_units if result.partition else None,
+    )
+
+
+def records_to_csv(records: list[SweepRecord], target=None) -> str:
+    """Write records as CSV; returns the text (and writes to ``target``
+    path/handle when given)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(SweepRecord.fields())
+    for r in records:
+        writer.writerow([getattr(r, f) for f in SweepRecord.fields()])
+    text = buf.getvalue()
+    if target is not None:
+        if hasattr(target, "write"):
+            target.write(text)
+        else:
+            with open(target, "w") as fh:
+                fh.write(text)
+    return text

@@ -1,0 +1,142 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Examples
+--------
+::
+
+    python -m repro table2          # block-mapping communication
+    python -m repro figure2 --nx 6 --ny 6
+    python -m repro all             # every table and figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    figure2_ascii,
+    figure3_ascii,
+    figure4_report,
+    generate_report,
+    render_partition_stats,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+_TARGETS = ["table1", "table2", "table3", "table4", "table5",
+            "figure1", "figure2", "figure3", "figure4"]
+_EXTRA_TARGETS = ["stats", "report", "claims", "sweep", "scorecard", "compare"]
+
+
+def _emit(target: str, args: argparse.Namespace) -> str:
+    if target == "table1":
+        return render_table1()
+    if target == "table2":
+        return render_table2()
+    if target == "table3":
+        return render_table3()
+    if target == "table4":
+        return render_table4()
+    if target == "table5":
+        return render_table5()
+    if target == "figure1":
+        from .analysis import figure1_ascii
+
+        return figure1_ascii()
+    if target == "figure2":
+        return figure2_ascii(args.nx, args.ny)
+    if target == "figure3":
+        return figure3_ascii()
+    if target == "figure4":
+        return figure4_report(args.matrix, args.grain)
+    if target == "stats":
+        from .analysis.experiments import prepared_matrix
+        from .core import partition_factor
+
+        prep = prepared_matrix(args.matrix)
+        partition = partition_factor(prep.pattern, grain=args.grain)
+        return render_partition_stats(
+            partition, f"Partition statistics: {args.matrix}, g={args.grain}"
+        )
+    if target == "claims":
+        from .analysis import render_claims
+
+        return render_claims(args.matrix)
+    if target == "compare":
+        from .analysis import render_comparison
+
+        return render_comparison()
+    if target == "sweep":
+        from .analysis import records_to_csv, sweep
+        from .analysis.experiments import prepared_matrix
+
+        records = sweep(prepared_matrix(args.matrix))
+        text = records_to_csv(records)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+            return f"{len(records)} records written to {args.output}"
+        return text.rstrip("\n")
+    if target == "scorecard":
+        from .analysis import render_table
+        from .analysis.experiments import prepared_matrix
+        from .core import block_mapping, wrap_mapping
+        from .machine import scorecard
+
+        prep = prepared_matrix(args.matrix)
+        cards = [
+            scorecard(r.assignment, prep.updates)
+            for r in (
+                block_mapping(prep, 16, grain=args.grain),
+                wrap_mapping(prep, 16),
+            )
+        ]
+        headers = ["metric"] + [c["scheme"] for c in cards]
+        rows = [
+            [key] + [c[key] for c in cards]
+            for key in cards[0]
+            if key != "scheme"
+        ]
+        return render_table(
+            headers, rows,
+            f"Scorecard: {args.matrix} at P=16 (block g={args.grain} vs wrap)",
+        )
+    if target == "report":
+        report = generate_report()
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(report)
+            return f"report written to {args.output}"
+        return report
+    raise ValueError(f"unknown target {target!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables/figures of Venugopal & Naik (SC 1991).",
+    )
+    parser.add_argument("target", choices=_TARGETS + _EXTRA_TARGETS + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--nx", type=int, default=5, help="figure2 grid width")
+    parser.add_argument("--ny", type=int, default=5, help="figure2 grid height")
+    parser.add_argument("--matrix", default="LAP30",
+                        help="matrix for figure4/stats")
+    parser.add_argument("--grain", type=int, default=25,
+                        help="grain size for figure4/stats")
+    parser.add_argument("--output", default=None,
+                        help="write the report target to a file")
+    args = parser.parse_args(argv)
+
+    targets = _TARGETS if args.target == "all" else [args.target]
+    chunks = [_emit(t, args) for t in targets]
+    print("\n\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

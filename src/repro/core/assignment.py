@@ -1,0 +1,47 @@
+"""Assignment of factor elements to processors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.pattern import LowerPattern
+from .partitioner import Partition
+
+__all__ = ["Assignment"]
+
+
+@dataclass
+class Assignment:
+    """An owner-computes mapping of every factor element to a processor.
+
+    ``owner_of_element[e]`` is the processor owning element id ``e`` (and
+    therefore performing all updates targeting it).  For block mappings,
+    ``proc_of_unit`` and ``partition`` describe the unit-level view.
+    """
+
+    scheme: str
+    nprocs: int
+    pattern: LowerPattern
+    owner_of_element: np.ndarray
+    proc_of_unit: np.ndarray | None = None
+    partition: Partition | None = None
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be positive")
+        if len(self.owner_of_element) != self.pattern.nnz:
+            raise ValueError("owner_of_element must have one entry per element")
+        owners = self.owner_of_element
+        if len(owners) and (owners.min() < 0 or owners.max() >= self.nprocs):
+            raise ValueError("element owner out of processor range")
+
+    def elements_of(self, proc: int) -> np.ndarray:
+        """Element ids owned by ``proc``."""
+        return np.nonzero(self.owner_of_element == proc)[0]
+
+    def units_of(self, proc: int) -> np.ndarray:
+        if self.proc_of_unit is None:
+            raise ValueError(f"{self.scheme} assignment has no unit-level view")
+        return np.nonzero(self.proc_of_unit == proc)[0]

@@ -1,0 +1,207 @@
+"""Cluster identification (paper §3.1).
+
+A cluster is a single column or a strip of consecutive columns whose
+diagonal block is a dense triangle (optionally admitting a bounded
+fraction of padding zeros).  A multi-column cluster additionally owns a
+set of dense off-diagonal rectangles: the maximal runs of consecutive
+nonzero rows below the triangle, spanning the full cluster width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.pattern import LowerPattern
+from .blocks import BlockKind, DenseBlock
+
+__all__ = ["Cluster", "ClusterSet", "find_clusters"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One cluster: its column strip and its dense blocks.
+
+    Exactly one of two shapes: a single-column cluster has ``column``
+    set and no triangle/rectangles; a multi-column cluster has a
+    ``triangle`` and zero or more ``rectangles``.
+    """
+
+    index: int
+    col_lo: int
+    col_hi: int
+    triangle: DenseBlock | None
+    rectangles: tuple[DenseBlock, ...]
+    column: DenseBlock | None = None
+    triangle_padding: int = 0
+    rectangle_padding: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.triangle is None) == (self.column is None):
+            raise ValueError("cluster must have either a triangle or a column block")
+
+    @property
+    def width(self) -> int:
+        return self.col_hi - self.col_lo + 1
+
+    @property
+    def is_column(self) -> bool:
+        return self.column is not None
+
+    @property
+    def padding_zeros(self) -> int:
+        """Structural zeros included in this cluster's dense blocks:
+        triangle padding (bounded by the zero tolerance) plus rectangle
+        padding (rows present in only part of the strip)."""
+        return self.triangle_padding + self.rectangle_padding
+
+    @property
+    def dense_blocks(self) -> tuple[DenseBlock, ...]:
+        if self.column is not None:
+            return (self.column,)
+        return (self.triangle, *self.rectangles)
+
+
+@dataclass(frozen=True)
+class ClusterSet:
+    """All clusters of a factor pattern, left to right."""
+
+    pattern: LowerPattern
+    clusters: tuple[Cluster, ...]
+    min_width: int
+    zero_tolerance: float
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self):
+        return iter(self.clusters)
+
+    def __getitem__(self, i: int) -> Cluster:
+        return self.clusters[i]
+
+    @property
+    def cluster_of_column(self) -> np.ndarray:
+        out = np.empty(self.pattern.n, dtype=np.int64)
+        for c in self.clusters:
+            out[c.col_lo : c.col_hi + 1] = c.index
+        return out
+
+    def multi_column_clusters(self) -> list[Cluster]:
+        return [c for c in self.clusters if not c.is_column]
+
+    def total_padding(self) -> int:
+        return sum(c.padding_zeros for c in self.clusters)
+
+    def total_triangle_padding(self) -> int:
+        return sum(c.triangle_padding for c in self.clusters)
+
+
+def _triangle_missing_when_extended(pattern: LowerPattern, s: int, e_new: int) -> int:
+    """Padding zeros added to the triangle of strip [s, e_new] relative to
+    [s, e_new - 1]: the required entries are row ``e_new`` in columns
+    s..e_new (the diagonal is always present)."""
+    missing = 0
+    for c in range(s, e_new):
+        if not pattern.has(e_new, c):
+            missing += 1
+    return missing
+
+
+def _rectangles_for_strip(
+    pattern: LowerPattern, cluster_idx: int, s: int, e: int
+) -> tuple[tuple[DenseBlock, ...], int]:
+    """Dense rectangles below the triangle of strip [s, e]: maximal runs of
+    consecutive rows > e that are nonzero in any column of the strip.
+    Returns (rectangles, padding-zero count inside them)."""
+    pieces = []
+    for c in range(s, e + 1):
+        col = pattern.col(c)
+        pieces.append(col[col > e])
+    rows = np.unique(np.concatenate(pieces)) if pieces else np.zeros(0, dtype=np.int64)
+    if len(rows) == 0:
+        return (), 0
+    # Split into maximal consecutive runs.
+    breaks = np.nonzero(np.diff(rows) > 1)[0]
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [len(rows) - 1]])
+    rects = []
+    padding = 0
+    width = e - s + 1
+    present = {int(r) for r in rows}
+    present_count: dict[int, int] = {int(r): 0 for r in rows}
+    for piece in pieces:
+        for r in piece.tolist():
+            present_count[int(r)] += 1
+    assert present == set(present_count)
+    for a, b in zip(starts.tolist(), ends.tolist()):
+        r_lo, r_hi = int(rows[a]), int(rows[b])
+        rects.append(
+            DenseBlock(BlockKind.RECTANGLE, cluster_idx, s, e, r_lo, r_hi)
+        )
+        for r in range(r_lo, r_hi + 1):
+            padding += width - present_count.get(r, 0)
+    return tuple(rects), padding
+
+
+def find_clusters(
+    pattern: LowerPattern,
+    min_width: int = 4,
+    zero_tolerance: float = 0.0,
+) -> ClusterSet:
+    """Identify clusters in a factor pattern, scanning left to right.
+
+    A strip [s, e] is grown greedily while the fraction of padding zeros
+    in its diagonal triangle stays within ``zero_tolerance``.  Strips
+    narrower than ``min_width`` are broken into single-column clusters
+    (the paper's "minimum cluster width" parameter); the scan then
+    resumes at the *next* column, so a wide cluster starting one column
+    later is still found (cf. the paper's column-34 example).
+    """
+    if min_width < 1:
+        raise ValueError("min_width must be at least 1")
+    if not (0.0 <= zero_tolerance < 1.0):
+        raise ValueError("zero_tolerance must be in [0, 1)")
+    n = pattern.n
+    clusters: list[Cluster] = []
+    s = 0
+    while s < n:
+        # Grow the strip [s, e] as far as the zero tolerance allows.
+        e = s
+        missing = 0
+        while e + 1 < n:
+            add = _triangle_missing_when_extended(pattern, s, e + 1)
+            w = e + 1 - s + 1
+            tri_area = w * (w + 1) // 2
+            if missing + add > zero_tolerance * tri_area:
+                break
+            missing += add
+            e += 1
+        width = e - s + 1
+        idx = len(clusters)
+        if width >= min_width and width > 1:
+            tri = DenseBlock(BlockKind.TRIANGLE, idx, s, e, s, e)
+            rects, rect_padding = _rectangles_for_strip(pattern, idx, s, e)
+            clusters.append(
+                Cluster(
+                    idx, s, e, tri, rects,
+                    triangle_padding=missing,
+                    rectangle_padding=rect_padding,
+                )
+            )
+            s = e + 1
+        else:
+            col = pattern.col(s)
+            clusters.append(
+                Cluster(
+                    idx,
+                    s,
+                    s,
+                    None,
+                    (),
+                    column=DenseBlock(BlockKind.COLUMN, idx, s, s, s, int(col[-1])),
+                )
+            )
+            s += 1
+    return ClusterSet(pattern, tuple(clusters), min_width, zero_tolerance)

@@ -1,0 +1,308 @@
+"""Partitioning of dense blocks into schedulable unit blocks (paper §3.2).
+
+The grain size g is the minimum number of matrix elements (geometric,
+padding included) per unit block; it dictates a maximum number of
+partitions P_d = floor(area / g).  A block is split into *at most* P_d
+roughly equal units:
+
+* a **triangle** of width w is split into b column chunks, producing b
+  diagonal unit triangles and b(b-1)/2 unit rectangles (Figure 3 shows
+  b = 3: units t1..t6); b is the largest value with b(b+1)/2 <= P_d;
+* a **rectangle** is split into an nr x nc grid with nr*nc <= P_d,
+  chosen to maximize the unit count with near-square units;
+* a **column** is a single unit and is never split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..sparse.pattern import LowerPattern
+from .blocks import BlockKind, DenseBlock, UnitBlock
+from .clusters import ClusterSet, find_clusters
+
+__all__ = ["Partition", "partition_factor", "partition_clusters", "chunk_bounds"]
+
+
+def chunk_bounds(lo: int, hi: int, parts: int) -> list[tuple[int, int]]:
+    """Split the inclusive range [lo, hi] into ``parts`` near-equal
+    contiguous chunks (larger chunks first)."""
+    length = hi - lo + 1
+    if not (1 <= parts <= length):
+        raise ValueError(f"cannot split {length} indices into {parts} chunks")
+    base, extra = divmod(length, parts)
+    out = []
+    start = lo
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        out.append((start, start + size - 1))
+        start += size
+    return out
+
+
+def triangle_split_count(area: int, grain: int, max_parts: int | None = None) -> int:
+    """Number of column chunks b for a triangle: largest b with
+    b(b+1)/2 unit blocks allowed by the grain (and ``max_parts``)."""
+    pd = max(1, area // max(grain, 1))
+    if max_parts is not None:
+        pd = min(pd, max_parts)
+    b = 1
+    while (b + 1) * (b + 2) // 2 <= pd:
+        b += 1
+    return b
+
+
+def rectangle_grid(
+    height: int, width: int, area: int, grain: int, max_parts: int | None = None
+) -> tuple[int, int]:
+    """Grid shape (nr, nc) for a rectangle: maximize nr*nc <= P_d with
+    near-square units (ties broken toward squarer aspect)."""
+    pd = max(1, area // max(grain, 1))
+    if max_parts is not None:
+        pd = min(pd, max_parts)
+    pd = min(pd, height * width)
+    best = (1, 1)
+    best_score = (-1, float("inf"))
+    for nc in range(1, min(width, pd) + 1):
+        nr = min(height, pd // nc)
+        if nr < 1:
+            continue
+        count = nr * nc
+        aspect = abs((height / nr) - (width / nc))
+        score = (count, -aspect)
+        if score > (best_score[0], -best_score[1]):
+            best = (nr, nc)
+            best_score = (count, aspect)
+    return best
+
+
+@dataclass
+class Partition:
+    """A complete partition of a factor pattern into unit blocks."""
+
+    pattern: LowerPattern
+    clusters: ClusterSet
+    units: list[UnitBlock]
+    unit_of_element: np.ndarray
+    grain_triangle: int
+    grain_rectangle: int
+
+    @property
+    def num_units(self) -> int:
+        return len(self.units)
+
+    @cached_property
+    def cluster_of_unit(self) -> np.ndarray:
+        return np.asarray([u.cluster for u in self.units], dtype=np.int64)
+
+    @cached_property
+    def unit_work(self) -> np.ndarray:
+        """Element count per unit (upgraded to true work by the machine
+        layer; kept here for quick size-based diagnostics)."""
+        return np.asarray([u.nnz for u in self.units], dtype=np.int64)
+
+    def units_of_cluster(self, cluster_index: int) -> list[UnitBlock]:
+        return [u for u in self.units if u.cluster == cluster_index]
+
+    def check_exact_cover(self) -> None:
+        """Raise if the units do not partition the elements exactly."""
+        counts = np.zeros(self.pattern.nnz, dtype=np.int64)
+        for u in self.units:
+            counts[u.elements] += 1
+        if not (counts == 1).all():
+            bad = int((counts != 1).sum())
+            raise AssertionError(f"{bad} elements not covered exactly once")
+        if not (self.unit_of_element >= 0).all():
+            raise AssertionError("unit_of_element has unassigned entries")
+
+
+def _elements_in_region(
+    pattern: LowerPattern,
+    col_lo: int,
+    col_hi: int,
+    row_lo: int,
+    row_hi: int,
+    triangular: bool,
+) -> np.ndarray:
+    """Element ids of pattern entries inside an inclusive region."""
+    out = []
+    for c in range(col_lo, col_hi + 1):
+        lo, hi = pattern.indptr[c], pattern.indptr[c + 1]
+        rows = pattern.rowidx[lo:hi]
+        a = lo + np.searchsorted(rows, max(row_lo, c if triangular else row_lo))
+        b = lo + np.searchsorted(rows, row_hi, side="right")
+        out.append(np.arange(a, b, dtype=np.int64))
+    return np.concatenate(out) if out else np.zeros(0, dtype=np.int64)
+
+
+def _partition_triangle(
+    pattern: LowerPattern,
+    tri: DenseBlock,
+    grain: int,
+    max_parts: int | None,
+    next_uid: int,
+) -> tuple[list[UnitBlock], int]:
+    """Split a cluster's diagonal triangle into unit triangles and unit
+    rectangles, emitted in the paper's allocation order: diagonal unit
+    triangles top to bottom, then unit rectangles row-major."""
+    b = triangle_split_count(tri.area, grain, max_parts)
+    b = min(b, tri.width)
+    chunks = chunk_bounds(tri.col_lo, tri.col_hi, b)
+    units: list[UnitBlock] = []
+    # Diagonal unit triangles, top to bottom: order group 0.
+    for ci, (lo, hi) in enumerate(chunks):
+        units.append(
+            UnitBlock(
+                uid=next_uid,
+                kind=BlockKind.TRIANGLE,
+                cluster=tri.cluster,
+                col_lo=lo,
+                col_hi=hi,
+                row_lo=lo,
+                row_hi=hi,
+                elements=_elements_in_region(pattern, lo, hi, lo, hi, True),
+                parent_kind=BlockKind.TRIANGLE,
+                order_key=(tri.cluster, 0, 0, ci, 0),
+            )
+        )
+        next_uid += 1
+    # Off-diagonal unit rectangles, top to bottom then left to right
+    # (row-major over the chunk grid): order group 1.
+    for ri in range(1, b):
+        r_lo, r_hi = chunks[ri]
+        for ci in range(ri):
+            c_lo, c_hi = chunks[ci]
+            units.append(
+                UnitBlock(
+                    uid=next_uid,
+                    kind=BlockKind.RECTANGLE,
+                    cluster=tri.cluster,
+                    col_lo=c_lo,
+                    col_hi=c_hi,
+                    row_lo=r_lo,
+                    row_hi=r_hi,
+                    elements=_elements_in_region(pattern, c_lo, c_hi, r_lo, r_hi, False),
+                    parent_kind=BlockKind.TRIANGLE,
+                    order_key=(tri.cluster, 0, 1, ri, ci),
+                )
+            )
+            next_uid += 1
+    return units, next_uid
+
+
+def _partition_rectangle(
+    pattern: LowerPattern,
+    rect: DenseBlock,
+    rect_index: int,
+    grain: int,
+    max_parts: int | None,
+    next_uid: int,
+) -> tuple[list[UnitBlock], int]:
+    """Split an off-diagonal dense rectangle into a grid of unit
+    rectangles, emitted row-major (top to bottom, left to right)."""
+    nr, nc = rectangle_grid(rect.height, rect.width, rect.area, grain, max_parts)
+    row_chunks = chunk_bounds(rect.row_lo, rect.row_hi, nr)
+    col_chunks = chunk_bounds(rect.col_lo, rect.col_hi, nc)
+    units: list[UnitBlock] = []
+    for ri, (r_lo, r_hi) in enumerate(row_chunks):
+        for ci, (c_lo, c_hi) in enumerate(col_chunks):
+            units.append(
+                UnitBlock(
+                    uid=next_uid,
+                    kind=BlockKind.RECTANGLE,
+                    cluster=rect.cluster,
+                    col_lo=c_lo,
+                    col_hi=c_hi,
+                    row_lo=r_lo,
+                    row_hi=r_hi,
+                    elements=_elements_in_region(pattern, c_lo, c_hi, r_lo, r_hi, False),
+                    parent_kind=BlockKind.RECTANGLE,
+                    order_key=(rect.cluster, 1 + rect_index, 0, ri, ci),
+                )
+            )
+            next_uid += 1
+    return units, next_uid
+
+
+def partition_clusters(
+    pattern: LowerPattern,
+    clusters: ClusterSet,
+    grain_triangle: int = 4,
+    grain_rectangle: int | None = None,
+    max_parts: int | None = None,
+) -> Partition:
+    """Partition every cluster's dense blocks into unit blocks.
+
+    ``grain_rectangle`` defaults to ``grain_triangle`` (the paper's
+    tables use a single grain size g).  ``max_parts`` optionally caps the
+    number of units per dense block (the paper's adaptive parameter (a);
+    see the scheduler's adaptive mode).
+    """
+    if grain_rectangle is None:
+        grain_rectangle = grain_triangle
+    units: list[UnitBlock] = []
+    next_uid = 0
+    for cluster in clusters:
+        if cluster.is_column:
+            col_block = cluster.column
+            j = col_block.col_lo
+            lo, hi = pattern.indptr[j], pattern.indptr[j + 1]
+            units.append(
+                UnitBlock(
+                    uid=next_uid,
+                    kind=BlockKind.COLUMN,
+                    cluster=cluster.index,
+                    col_lo=j,
+                    col_hi=j,
+                    row_lo=j,
+                    row_hi=int(pattern.rowidx[hi - 1]),
+                    elements=np.arange(lo, hi, dtype=np.int64),
+                    parent_kind=BlockKind.COLUMN,
+                    order_key=(cluster.index, 0, 0, 0, 0),
+                )
+            )
+            next_uid += 1
+            continue
+        tri_units, next_uid = _partition_triangle(
+            pattern, cluster.triangle, grain_triangle, max_parts, next_uid
+        )
+        units.extend(tri_units)
+        for ri, rect in enumerate(cluster.rectangles):
+            rect_units, next_uid = _partition_rectangle(
+                pattern, rect, ri, grain_rectangle, max_parts, next_uid
+            )
+            units.extend(rect_units)
+
+    unit_of_element = np.full(pattern.nnz, -1, dtype=np.int64)
+    for u in units:
+        unit_of_element[u.elements] = u.uid
+    return Partition(
+        pattern=pattern,
+        clusters=clusters,
+        units=units,
+        unit_of_element=unit_of_element,
+        grain_triangle=grain_triangle,
+        grain_rectangle=grain_rectangle,
+    )
+
+
+def partition_factor(
+    pattern: LowerPattern,
+    grain: int = 4,
+    min_width: int = 4,
+    zero_tolerance: float = 0.0,
+    grain_rectangle: int | None = None,
+    max_parts: int | None = None,
+) -> Partition:
+    """Convenience wrapper: find clusters, then partition them."""
+    clusters = find_clusters(pattern, min_width=min_width, zero_tolerance=zero_tolerance)
+    return partition_clusters(
+        pattern,
+        clusters,
+        grain_triangle=grain,
+        grain_rectangle=grain_rectangle,
+        max_parts=max_parts,
+    )

@@ -1,0 +1,173 @@
+"""One-call drivers: matrix structure -> ordered -> partitioned ->
+scheduled -> measured.
+
+:class:`PreparedMatrix` caches the expensive, sweep-invariant stages
+(ordering, symbolic factorization, update enumeration) so parameter
+sweeps over grain size / processor count / cluster width re-use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..machine.metrics import LoadBalance, load_balance
+from ..machine.traffic import TrafficResult, data_traffic
+from ..machine.work import processor_work, unit_work
+from ..ordering import order as order_graph
+from ..sparse.pattern import LowerPattern, SymmetricGraph
+from ..symbolic.fill import SymbolicFactor, symbolic_cholesky
+from ..symbolic.updates import UpdateSet, enumerate_updates
+from .assignment import Assignment
+from .dependencies import DependencyInfo, analyze_dependencies
+from .partitioner import Partition, partition_factor
+from .scheduler import SchedulerOptions, schedule_blocks
+from .wrap import wrap_assignment
+
+__all__ = [
+    "PreparedMatrix",
+    "MappingResult",
+    "prepare",
+    "block_mapping",
+    "adaptive_block_mapping",
+    "wrap_mapping",
+]
+
+
+@dataclass
+class PreparedMatrix:
+    """A structure ordered and symbolically factored, ready for mapping
+    experiments."""
+
+    name: str
+    graph: SymmetricGraph
+    perm: np.ndarray
+    symbolic: SymbolicFactor
+
+    @property
+    def pattern(self) -> LowerPattern:
+        return self.symbolic.pattern
+
+    @cached_property
+    def updates(self) -> UpdateSet:
+        return enumerate_updates(self.pattern)
+
+    @property
+    def factor_nnz(self) -> int:
+        return self.pattern.nnz
+
+    @property
+    def total_work(self) -> int:
+        return self.updates.total_work()
+
+
+def prepare(graph: SymmetricGraph, ordering: str = "mmd", name: str = "") -> PreparedMatrix:
+    """Order and symbolically factor a structure."""
+    perm = order_graph(graph, ordering)
+    symbolic = symbolic_cholesky(graph, perm)
+    return PreparedMatrix(name=name or "matrix", graph=graph, perm=np.asarray(perm), symbolic=symbolic)
+
+
+@dataclass
+class MappingResult:
+    """Everything measured for one (matrix, scheme, parameters) cell."""
+
+    prepared: PreparedMatrix
+    assignment: Assignment
+    traffic: TrafficResult
+    balance: LoadBalance
+    partition: Partition | None = None
+    dependencies: DependencyInfo | None = None
+
+    @property
+    def scheme(self) -> str:
+        return self.assignment.scheme
+
+    @property
+    def nprocs(self) -> int:
+        return self.assignment.nprocs
+
+    def summary(self) -> dict:
+        """Flat dict of the paper's reported figures."""
+        return {
+            "matrix": self.prepared.name,
+            "scheme": self.scheme,
+            "nprocs": self.nprocs,
+            "traffic_total": self.traffic.total,
+            "traffic_mean": self.traffic.mean,
+            "work_mean": self.balance.mean,
+            "work_max": self.balance.max,
+            "imbalance": self.balance.imbalance,
+        }
+
+
+def block_mapping(
+    prepared: PreparedMatrix,
+    nprocs: int,
+    grain: int = 4,
+    min_width: int = 4,
+    zero_tolerance: float = 0.0,
+    grain_rectangle: int | None = None,
+    options: SchedulerOptions | None = None,
+    include_scale_traffic: bool = True,
+) -> MappingResult:
+    """Run the paper's block-based partitioner + scheduler and measure it."""
+    partition = partition_factor(
+        prepared.pattern,
+        grain=grain,
+        min_width=min_width,
+        zero_tolerance=zero_tolerance,
+        grain_rectangle=grain_rectangle,
+    )
+    updates = prepared.updates
+    deps = analyze_dependencies(partition, updates)
+    uw = unit_work(partition, updates)
+    assignment = schedule_blocks(partition, deps, nprocs, unit_work=uw, options=options)
+    traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
+    balance = load_balance(processor_work(assignment, updates))
+    return MappingResult(prepared, assignment, traffic, balance, partition, deps)
+
+
+def adaptive_block_mapping(
+    prepared: PreparedMatrix,
+    nprocs: int,
+    grain: int = 4,
+    min_width: int = 4,
+    zero_tolerance: float = 0.0,
+    options: SchedulerOptions | None = None,
+    include_scale_traffic: bool = True,
+) -> MappingResult:
+    """Run the interleaved adaptive partitioner/scheduler (§3.2 parameter
+    (a)): triangle partition counts limited by predecessor-processor
+    counts."""
+    from .adaptive import adaptive_schedule
+
+    updates = prepared.updates
+    partition, assignment = adaptive_schedule(
+        prepared.pattern,
+        updates,
+        nprocs,
+        grain=grain,
+        min_width=min_width,
+        zero_tolerance=zero_tolerance,
+        options=options,
+    )
+    deps = analyze_dependencies(partition, updates)
+    traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
+    balance = load_balance(processor_work(assignment, updates))
+    return MappingResult(prepared, assignment, traffic, balance, partition, deps)
+
+
+def wrap_mapping(
+    prepared: PreparedMatrix,
+    nprocs: int,
+    include_scale_traffic: bool = True,
+) -> MappingResult:
+    """Run the wrap-mapped column baseline and measure it."""
+    assignment = wrap_assignment(prepared.pattern, nprocs)
+    updates = prepared.updates
+    traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
+    balance = load_balance(processor_work(assignment, updates))
+    return MappingResult(prepared, assignment, traffic, balance)

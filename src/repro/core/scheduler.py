@@ -1,0 +1,165 @@
+"""Block allocation strategy (paper §3.4).
+
+The allocation pass, faithful to the paper:
+
+1. *Independent columns* (column units never updated by another unit)
+   are allocated wrap-around.
+2. The remaining clusters are scanned left to right.
+   A dependent column goes to a processor that worked on one of its
+   predecessors ("arbitrarily picked" — the choice is a policy knob).
+3. In a multi-column cluster, the triangle's units are allocated first
+   (diagonal unit triangles top to bottom, then unit rectangles
+   row-major).  Each unit goes to the first predecessor processor not
+   yet in the per-triangle set P_a; when every predecessor processor is
+   already in P_a, the globally "available" processor (a round-robin
+   marker over P_g) takes it.
+4. The units of each rectangle below the triangle are restricted to
+   P_t — the processors that worked on the triangle — cycled in order
+   of increasing accumulated work, re-sorted before each rectangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .assignment import Assignment
+from .blocks import BlockKind
+from .dependencies import DependencyInfo
+from .partitioner import Partition
+
+__all__ = ["SchedulerOptions", "schedule_blocks"]
+
+_POLICIES = ("first", "least_loaded", "round_robin")
+
+
+@dataclass(frozen=True)
+class SchedulerOptions:
+    """Tunable policies of the allocator.
+
+    ``dependent_column_policy`` resolves the paper's "arbitrarily
+    picked" processor for dependent columns: ``first`` takes the
+    processor of the first predecessor, ``least_loaded`` the
+    least-loaded predecessor processor, ``round_robin`` ignores
+    predecessors and uses the global marker.
+    """
+
+    dependent_column_policy: str = "first"
+
+    def __post_init__(self) -> None:
+        if self.dependent_column_policy not in _POLICIES:
+            raise ValueError(
+                f"unknown policy {self.dependent_column_policy!r}; "
+                f"expected one of {_POLICIES}"
+            )
+
+
+def schedule_blocks(
+    partition: Partition,
+    deps: DependencyInfo,
+    nprocs: int,
+    unit_work: np.ndarray | None = None,
+    options: SchedulerOptions | None = None,
+) -> Assignment:
+    """Allocate every unit block to a processor.
+
+    ``unit_work`` (work units per unit block) drives the increasing-work
+    ordering of P_t; it defaults to the units' element counts.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be positive")
+    options = options or SchedulerOptions()
+    units = partition.units
+    n_units = len(units)
+    if unit_work is None:
+        unit_work = partition.unit_work
+    unit_work = np.asarray(unit_work, dtype=np.float64)
+    if len(unit_work) != n_units:
+        raise ValueError("unit_work must have one entry per unit")
+
+    proc_of_unit = np.full(n_units, -1, dtype=np.int64)
+    proc_work = np.zeros(nprocs, dtype=np.float64)
+    marker = 0  # the "currently available" processor in P_g
+
+    def assign(uid: int, proc: int) -> None:
+        proc_of_unit[uid] = proc
+        proc_work[proc] += unit_work[uid]
+
+    def take_marker() -> int:
+        nonlocal marker
+        p = marker
+        marker = (marker + 1) % nprocs
+        return p
+
+    independent = deps.independent_units
+    preds = deps.predecessors
+
+    # --- step 1: independent columns, wrap-around ---------------------
+    wrap_counter = 0
+    independent_column_uids = set()
+    for u in units:  # units are in left-to-right cluster order
+        if u.kind is BlockKind.COLUMN and independent[u.uid]:
+            assign(u.uid, wrap_counter % nprocs)
+            wrap_counter += 1
+            independent_column_uids.add(u.uid)
+
+    # --- steps 2-4: scan remaining clusters left to right -------------
+    for cluster in partition.clusters:
+        cunits = sorted(partition.units_of_cluster(cluster.index), key=lambda u: u.order_key)
+        if cluster.is_column:
+            u = cunits[0]
+            if u.uid in independent_column_uids:
+                continue
+            pred_procs = [int(proc_of_unit[p]) for p in preds[u.uid]]
+            pred_procs = [p for p in pred_procs if p >= 0]
+            if not pred_procs:
+                assign(u.uid, take_marker())
+            elif options.dependent_column_policy == "first":
+                assign(u.uid, pred_procs[0])
+            elif options.dependent_column_policy == "least_loaded":
+                best = min(set(pred_procs), key=lambda p: (proc_work[p], p))
+                assign(u.uid, best)
+            else:  # round_robin
+                assign(u.uid, take_marker())
+            continue
+
+        # Multi-column cluster: triangle units first, in order.
+        tri_units = [u for u in cunits if u.parent_kind is BlockKind.TRIANGLE]
+        rect_units = [u for u in cunits if u.parent_kind is BlockKind.RECTANGLE]
+        p_a: set[int] = set()  # processors already used in this triangle
+        for u in tri_units:
+            chosen = -1
+            for p_unit in preds[u.uid]:
+                proc = int(proc_of_unit[p_unit])
+                if proc >= 0 and proc not in p_a:
+                    chosen = proc
+                    break
+            if chosen < 0:
+                chosen = take_marker()
+            p_a.add(chosen)
+            assign(u.uid, chosen)
+
+        # Rectangles below: restricted to P_t, in increasing-work order,
+        # re-sorted before each dense rectangle.
+        p_t = sorted({int(proc_of_unit[u.uid]) for u in tri_units})
+        by_rect: dict[int, list] = {}
+        for u in rect_units:
+            by_rect.setdefault(u.order_key[1], []).append(u)
+        for rect_index in sorted(by_rect):
+            ordered_procs = sorted(p_t, key=lambda p: (proc_work[p], p))
+            for slot, u in enumerate(sorted(by_rect[rect_index], key=lambda x: x.order_key)):
+                assign(u.uid, ordered_procs[slot % len(ordered_procs)])
+
+    if (proc_of_unit < 0).any():  # pragma: no cover - internal invariant
+        raise AssertionError("scheduler left a unit unassigned")
+
+    owner = proc_of_unit[partition.unit_of_element]
+    return Assignment(
+        scheme="block",
+        nprocs=nprocs,
+        pattern=partition.pattern,
+        owner_of_element=owner,
+        proc_of_unit=proc_of_unit,
+        partition=partition,
+    )

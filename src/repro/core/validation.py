@@ -1,0 +1,111 @@
+"""Structural validators for partitions, dependency graphs and schedules.
+
+These raise :class:`ValidationError` with a precise message on the first
+violated invariant; they are cheap enough to run in production pipelines
+and are exercised throughout the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .assignment import Assignment
+from .blocks import BlockKind
+from .dependencies import DependencyInfo
+from .partitioner import Partition
+
+__all__ = ["ValidationError", "validate_partition", "validate_assignment",
+           "validate_dependencies"]
+
+
+class ValidationError(AssertionError):
+    """An invariant of the partitioning/scheduling pipeline is violated."""
+
+
+def validate_partition(partition: Partition) -> None:
+    """Check a partition's structural invariants.
+
+    * every factor element belongs to exactly one unit;
+    * every unit's elements lie inside its extents (and below the
+      diagonal for triangles);
+    * units stay within their cluster's column range;
+    * with zero tolerance 0, cluster triangles are fully dense.
+    """
+    pattern = partition.pattern
+    counts = np.zeros(pattern.nnz, dtype=np.int64)
+    for u in partition.units:
+        counts[u.elements] += 1
+    if (counts != 1).any():
+        bad = int((counts != 1).sum())
+        raise ValidationError(f"{bad} elements not covered exactly once")
+
+    cols = pattern.element_cols()
+    cmap = partition.clusters.cluster_of_column
+    for u in partition.units:
+        if cmap[u.col_lo] != u.cluster or cmap[u.col_hi] != u.cluster:
+            raise ValidationError(
+                f"unit {u.uid} columns [{u.col_lo},{u.col_hi}] leave "
+                f"cluster {u.cluster}"
+            )
+        for e in u.elements.tolist():
+            r, c = int(pattern.rowidx[e]), int(cols[e])
+            if not (u.row_lo <= r <= u.row_hi and u.col_lo <= c <= u.col_hi):
+                raise ValidationError(
+                    f"element ({r},{c}) outside unit {u.uid} extent"
+                )
+            if u.kind is BlockKind.TRIANGLE and r < c:
+                raise ValidationError(
+                    f"triangle unit {u.uid} owns super-diagonal ({r},{c})"
+                )
+
+    if partition.clusters.zero_tolerance == 0.0:
+        for cluster in partition.clusters:
+            if cluster.is_column:
+                continue
+            for c in range(cluster.col_lo, cluster.col_hi + 1):
+                for r in range(c, cluster.col_hi + 1):
+                    if not pattern.has(r, c):
+                        raise ValidationError(
+                            f"cluster {cluster.index} triangle has a hole "
+                            f"at ({r},{c}) despite zero tolerance 0"
+                        )
+
+
+def validate_dependencies(deps: DependencyInfo) -> None:
+    """Check the dependency graph: no self edges, edges unique, the
+    graph acyclic, and independence consistent with the edge set."""
+    edges = deps.edges
+    if len(edges) and (edges[:, 0] == edges[:, 1]).any():
+        raise ValidationError("self-dependency edge present")
+    n_units = deps.partition.num_units
+    keys = edges[:, 0] * np.int64(n_units) + edges[:, 1]
+    if len(np.unique(keys)) != len(keys):
+        raise ValidationError("duplicate dependency edges")
+    from ..machine.simulate import topological_order
+
+    try:
+        topological_order(n_units, edges)
+    except ValueError as exc:
+        raise ValidationError(str(exc)) from exc
+    has_pred = np.zeros(n_units, dtype=bool)
+    has_pred[edges[:, 1]] = True
+    if (deps.independent_units & has_pred).any():
+        raise ValidationError("independent unit has predecessors")
+    if (~deps.independent_units & ~has_pred).any():
+        raise ValidationError("unit with no predecessors marked dependent")
+
+
+def validate_assignment(assignment: Assignment) -> None:
+    """Check an assignment: owners in range, and (for block schedules)
+    element owners consistent with unit owners."""
+    owners = assignment.owner_of_element
+    if len(owners) and (owners.min() < 0 or owners.max() >= assignment.nprocs):
+        raise ValidationError("element owner out of processor range")
+    if assignment.partition is not None and assignment.proc_of_unit is not None:
+        expected = assignment.proc_of_unit[assignment.partition.unit_of_element]
+        if not np.array_equal(owners, expected):
+            raise ValidationError("element owners disagree with unit owners")
+        if (assignment.proc_of_unit < 0).any() or (
+            assignment.proc_of_unit >= assignment.nprocs
+        ).any():
+            raise ValidationError("unit owner out of processor range")

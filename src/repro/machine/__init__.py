@@ -1,0 +1,38 @@
+"""Distributed-memory machine model: work, traffic, balance, timing."""
+
+from .hotspot import HotspotProfile, hotspot_profile
+from .metrics import LoadBalance, imbalance_factor, load_balance
+from .simulate import (
+    MachineModel,
+    ScheduleTimeline,
+    edge_volumes,
+    simulate_schedule,
+    topological_order,
+)
+from .scorecard import scorecard
+from .solve_metrics import solve_balance, solve_traffic, solve_work
+from .traffic import TrafficResult, communication_matrix, data_traffic
+from .work import processor_work, total_work, unit_work
+
+__all__ = [
+    "HotspotProfile",
+    "hotspot_profile",
+    "LoadBalance",
+    "imbalance_factor",
+    "load_balance",
+    "MachineModel",
+    "ScheduleTimeline",
+    "edge_volumes",
+    "simulate_schedule",
+    "topological_order",
+    "scorecard",
+    "solve_balance",
+    "solve_traffic",
+    "solve_work",
+    "TrafficResult",
+    "communication_matrix",
+    "data_traffic",
+    "processor_work",
+    "total_work",
+    "unit_work",
+]

@@ -1,0 +1,65 @@
+"""Load-balance metrics (paper §4).
+
+The load-imbalance factor is
+
+    λ = (W_max − W_ave) · N / W_tot = W_max / W_ave − 1,
+
+and with zero dependency-delay idle time the parallel efficiency is
+``e = W_ave / W_max``, so ``λ = 1/e − 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadBalance", "load_balance", "imbalance_factor"]
+
+
+@dataclass(frozen=True)
+class LoadBalance:
+    """Work-distribution summary for one assignment."""
+
+    per_processor: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.per_processor.sum())
+
+    @property
+    def max(self) -> int:
+        return int(self.per_processor.max())
+
+    @property
+    def mean(self) -> float:
+        return float(self.per_processor.mean())
+
+    @property
+    def imbalance(self) -> float:
+        """The paper's λ."""
+        if self.total == 0:
+            return 0.0
+        return self.max / self.mean - 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup / N, ignoring dependency delays: 1 / (1 + λ)."""
+        if self.max == 0:
+            return 1.0
+        return self.mean / self.max
+
+    @property
+    def speedup(self) -> float:
+        """W_tot / W_max: sequential over parallel time, no idle time."""
+        if self.max == 0:
+            return float(len(self.per_processor))
+        return self.total / self.max
+
+
+def load_balance(work_per_processor: np.ndarray) -> LoadBalance:
+    return LoadBalance(np.asarray(work_per_processor, dtype=np.int64))
+
+
+def imbalance_factor(work_per_processor: np.ndarray) -> float:
+    return load_balance(work_per_processor).imbalance

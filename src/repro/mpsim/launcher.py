@@ -1,0 +1,53 @@
+"""Run an SPMD function across simulated ranks (threads)."""
+
+from __future__ import annotations
+
+import threading
+
+from .comm import CommWorld, MPSimError
+
+__all__ = ["run_parallel"]
+
+
+def run_parallel(
+    fn,
+    nprocs: int,
+    *args,
+    timeout: float | None = 60.0,
+    drop_filter=None,
+    **kwargs,
+) -> list:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
+
+    Returns the per-rank return values in rank order.  Any rank raising
+    an exception fails the whole run (the first exception, by rank, is
+    re-raised with rank context).  ``timeout`` bounds both individual
+    receives and the total join, converting deadlocks into errors.
+    ``drop_filter`` injects message loss (see :class:`CommWorld`).
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be positive")
+    world = CommWorld(nprocs, default_timeout=timeout, drop_filter=drop_filter)
+    results: list = [None] * nprocs
+    errors: list = [None] * nprocs
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(world.comm(rank), *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors[rank] = exc
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), name=f"mpsim-rank-{rank}", daemon=True)
+        for rank in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise MPSimError(f"{t.name} did not finish within {timeout}s (deadlock?)")
+    for rank, exc in enumerate(errors):
+        if exc is not None:
+            raise MPSimError(f"rank {rank} failed: {exc!r}") from exc
+    return results

@@ -1,0 +1,115 @@
+"""Supernodal (panel/blocked) numerical Cholesky.
+
+The numerical counterpart of the paper's dense-block view: columns with
+identical structure (fundamental supernodes — the strict form of the
+paper's clusters) are factored together as dense panels, turning the
+scalar column updates into dense matrix-matrix operations.  This is the
+"high ratio of computation to communication per block" the paper's
+blocking argument rests on, realized in the numerics.
+
+The result is bit-for-bit the same factor structure as
+:func:`repro.numeric.sparse_cholesky` (values equal to rounding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csc import LowerCSC, SymmetricCSC
+from ..symbolic.fill import SymbolicFactor, symbolic_cholesky
+from ..symbolic.supernodes import fundamental_supernodes
+from .cholesky import NotPositiveDefiniteError, dense_cholesky
+
+__all__ = ["supernodal_cholesky"]
+
+
+def _dense_lower_solve_right(L11: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve X · L11ᵀ = B for X (row-wise forward substitution)."""
+    w = L11.shape[0]
+    X = B.astype(np.float64, copy=True)
+    for j in range(w):
+        X[:, j] /= L11[j, j]
+        if j + 1 < w:
+            X[:, j + 1 :] -= np.outer(X[:, j], L11[j + 1 :, j])
+    return X
+
+
+def supernodal_cholesky(
+    a: SymmetricCSC, symbolic: SymbolicFactor | None = None
+) -> LowerCSC:
+    """Blocked left-looking Cholesky over fundamental supernodes.
+
+    ``a`` must already be permuted; ``symbolic`` (computed here when
+    omitted) must be its symbolic factor under the identity ordering.
+    """
+    if symbolic is None:
+        symbolic = symbolic_cholesky(a.graph())
+    pat = symbolic.pattern
+    n = a.n
+    supernodes = fundamental_supernodes(pat)
+
+    # Panel storage: for supernode (s, e), rows = struct(col s), a dense
+    # (len(rows) x width) array.
+    panels: list[np.ndarray] = []
+    panel_rows: list[np.ndarray] = []
+    sn_of_col = np.empty(n, dtype=np.int64)
+    for k, (s, e) in enumerate(supernodes):
+        sn_of_col[s : e + 1] = k
+        panel_rows.append(pat.col(s))
+
+    # updaters[j_sn] = list of source supernode ids whose row structure
+    # reaches into the target supernode's column range.
+    updaters: list[list[int]] = [[] for _ in supernodes]
+    for k, (s, e) in enumerate(supernodes):
+        rows = panel_rows[k]
+        touched = np.unique(sn_of_col[rows[rows > e]])
+        for t in touched.tolist():
+            updaters[t].append(k)
+
+    apat = a.pattern
+    for k, (s, e) in enumerate(supernodes):
+        rows = panel_rows[k]
+        width = e - s + 1
+        panel = np.zeros((len(rows), width), dtype=np.float64)
+        # Scatter A's columns (lower part) into the panel.
+        for off, j in enumerate(range(s, e + 1)):
+            alo, ahi = apat.indptr[j], apat.indptr[j + 1]
+            panel[np.searchsorted(rows, apat.rowidx[alo:ahi]), off] = a.values[
+                alo:ahi
+            ]
+
+        # Apply updates from every earlier supernode reaching into [s, e].
+        for src in updaters[k]:
+            src_rows = panel_rows[src]
+            src_panel = panels[src]
+            # Rows of the source panel that land in this supernode's
+            # columns (the L1 part) and in its row structure (L2 part).
+            in_cols = (src_rows >= s) & (src_rows <= e)
+            below = src_rows >= s
+            L1 = src_panel[in_cols, :]  # |J∩rows| x w_src
+            L2 = src_panel[below, :]  # rows >= s
+            update = L2 @ L1.T  # dense outer-product update
+            tgt_r = np.searchsorted(rows, src_rows[below])
+            tgt_c = src_rows[in_cols] - s
+            panel[np.ix_(tgt_r, tgt_c)] -= update
+
+        # Dense factorization of the diagonal block, then the solve for
+        # the sub-diagonal panel.
+        try:
+            L11 = dense_cholesky(panel[:width, :width])
+        except NotPositiveDefiniteError as exc:
+            raise NotPositiveDefiniteError(s + exc.column, exc.pivot) from exc
+        panel[:width, :width] = L11
+        if len(rows) > width:
+            panel[width:, :] = _dense_lower_solve_right(L11, panel[width:, :])
+        panels.append(panel)
+
+    # Assemble the CSC factor.  Within a supernode, column s+off's
+    # structure is the panel rows from position off downward.
+    values = np.zeros(pat.nnz, dtype=np.float64)
+    for k, (s, e) in enumerate(supernodes):
+        panel = panels[k]
+        for off, j in enumerate(range(s, e + 1)):
+            lo, hi = pat.indptr[j], pat.indptr[j + 1]
+            values[lo:hi] = panel[off:, off]
+    return LowerCSC(pat, values)

@@ -1,0 +1,40 @@
+"""Sparse triangular solves with a :class:`~repro.sparse.csc.LowerCSC`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csc import LowerCSC
+
+__all__ = ["solve_lower", "solve_lower_transpose"]
+
+
+def solve_lower(L: LowerCSC, b: np.ndarray) -> np.ndarray:
+    """Solve L x = b by column-oriented forward substitution."""
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (L.n,):
+        raise ValueError(f"b must have shape ({L.n},)")
+    x = b.copy()
+    pat = L.pattern
+    for j in range(L.n):
+        lo, hi = pat.indptr[j], pat.indptr[j + 1]
+        xj = x[j] / L.values[lo]
+        x[j] = xj
+        if hi > lo + 1:
+            x[pat.rowidx[lo + 1 : hi]] -= xj * L.values[lo + 1 : hi]
+    return x
+
+
+def solve_lower_transpose(L: LowerCSC, b: np.ndarray) -> np.ndarray:
+    """Solve Lᵀ x = b by column-oriented (row of Lᵀ) back substitution."""
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (L.n,):
+        raise ValueError(f"b must have shape ({L.n},)")
+    x = b.copy()
+    pat = L.pattern
+    for j in range(L.n - 1, -1, -1):
+        lo, hi = pat.indptr[j], pat.indptr[j + 1]
+        if hi > lo + 1:
+            x[j] -= float(L.values[lo + 1 : hi] @ x[pat.rowidx[lo + 1 : hi]])
+        x[j] /= L.values[lo]
+    return x

@@ -1,0 +1,118 @@
+"""Approximate minimum degree (AMD) ordering.
+
+A quotient-graph minimum-degree ordering in the style of Amestoy, Davis
+and Duff (1996): eliminated pivots become *elements* whose variable
+lists stand in for the fill cliques, adjacent elements are absorbed on
+elimination, indistinguishable supervariables are merged, and selection
+uses the AMD approximate-degree upper bound
+
+    d_i = min( n - k,
+               d_i^prev + |Lp \\ i|,
+               |A_i \\ i| + |Lp \\ i| + Σ_{e in E_i, e != p} |L_e \\ Lp| )
+
+(all sizes weighted by supervariable multiplicity).  AMD postdates the
+paper (which uses Liu's MMD); it is included as the modern comparison
+ordering for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.pattern import SymmetricGraph
+
+__all__ = ["approximate_minimum_degree"]
+
+
+def approximate_minimum_degree(graph: SymmetricGraph) -> np.ndarray:
+    n = graph.n
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    adj: list[set[int]] = [set(graph.neighbors(i).tolist()) for i in range(n)]
+    elems: list[set[int]] = [set() for _ in range(n)]  # elements adjacent to var
+    elem_vars: dict[int, set[int]] = {}  # element id (its pivot) -> variable list
+    nv = np.ones(n, dtype=np.int64)  # supervariable weights
+    members: list[list[int]] = [[i] for i in range(n)]
+    alive = np.ones(n, dtype=bool)
+
+    def wsize(s: set[int]) -> int:
+        return int(sum(nv[v] for v in s))
+
+    # Initial (exact) external degrees.
+    degree = np.array([wsize(adj[i]) for i in range(n)], dtype=np.int64)
+
+    perm: list[int] = []
+    remaining = n
+
+    while remaining > 0:
+        alive_idx = np.nonzero(alive)[0]
+        p = int(alive_idx[np.argmin(degree[alive_idx])])
+
+        # --- form the new element Lp ----------------------------------
+        lp: set[int] = set(adj[p])
+        for e in elems[p]:
+            lp |= elem_vars[e]
+        lp.discard(p)
+        lp = {v for v in lp if alive[v]}
+
+        perm.extend(members[p])
+        remaining -= len(members[p])
+        alive[p] = False
+
+        absorbed = set(elems[p])
+        for e in absorbed:
+            elem_vars.pop(e, None)
+        elem_vars[p] = lp
+
+        # --- update adjacency / element lists of affected variables ----
+        for i in lp:
+            adj[i] -= lp
+            adj[i].discard(p)
+            elems[i] = (elems[i] - absorbed) | {p}
+
+        # --- approximate degree update ---------------------------------
+        lp_w = wsize(lp)
+        for i in lp:
+            lp_minus_i = lp_w - int(nv[i])
+            bound_prev = int(degree[i]) + lp_minus_i
+            outside = 0
+            for e in elems[i]:
+                if e == p:
+                    continue
+                outside += wsize(elem_vars[e] - lp)
+            bound_full = wsize(adj[i]) + lp_minus_i + outside
+            degree[i] = min(remaining - 1 if remaining else 0,
+                            bound_prev, bound_full)
+            if degree[i] < 0:
+                degree[i] = 0
+
+        # --- supervariable detection among Lp ---------------------------
+        by_key: dict[tuple, int] = {}
+        for i in sorted(lp):
+            if not alive[i]:
+                continue
+            key = (frozenset(adj[i]), frozenset(elems[i]))
+            rep = by_key.get(key)
+            if rep is None:
+                by_key[key] = i
+                continue
+            # Merge i into rep.
+            members[rep].extend(members[i])
+            nv[rep] += nv[i]
+            alive[i] = False
+            for j in adj[i]:
+                adj[j].discard(i)
+            for e in elems[i]:
+                elem_vars[e].discard(i)
+            adj[i].clear()
+            elems[i].clear()
+            degree[rep] = max(0, int(degree[rep]) - 0)
+
+        # Drop merged variables from the new element list.
+        elem_vars[p] = {v for v in elem_vars[p] if alive[v]}
+
+    out = np.asarray(perm, dtype=np.int64)
+    if len(out) != n:  # pragma: no cover - internal invariant
+        raise AssertionError("AMD failed to order every variable")
+    return out

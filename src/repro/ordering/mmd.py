@@ -1,0 +1,136 @@
+"""Minimum degree orderings.
+
+Two variants are provided:
+
+* :func:`minimum_degree` — the textbook single-elimination algorithm on
+  an explicit elimination graph.
+* :func:`multiple_minimum_degree` — Liu's modified multiple minimum
+  degree (MMD, TOMS 1985), the ordering the paper uses for all of its
+  experiments.  It adds the three classic refinements:
+
+  - **multiple elimination**: an independent set of minimum-degree nodes
+    is eliminated per pass before degrees are recomputed;
+  - **indistinguishable-node merging** (supervariables): nodes with
+    identical closed neighbourhoods are merged and eliminated together;
+  - **external degree**: the degree used for selection counts original
+    variables outside the node's own supervariable.
+
+Both run on the explicit elimination graph with supervariable weights;
+for the n ~ 1000 problems of the paper this is comfortably fast and much
+easier to audit than a full quotient-graph implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.pattern import SymmetricGraph
+
+__all__ = ["minimum_degree", "multiple_minimum_degree"]
+
+
+def _init_adjacency(graph: SymmetricGraph) -> list[set[int]]:
+    return [set(graph.neighbors(i).tolist()) for i in range(graph.n)]
+
+
+def minimum_degree(graph: SymmetricGraph) -> np.ndarray:
+    """Single-elimination minimum degree.  Ties break to the lowest index."""
+    n = graph.n
+    adj = _init_adjacency(graph)
+    alive = np.ones(n, dtype=bool)
+    deg = np.array([len(a) for a in adj], dtype=np.int64)
+    perm = np.empty(n, dtype=np.int64)
+    for k in range(n):
+        alive_idx = np.nonzero(alive)[0]
+        v = int(alive_idx[np.argmin(deg[alive_idx])])
+        perm[k] = v
+        alive[v] = False
+        nbrs = adj[v]
+        for u in nbrs:
+            au = adj[u]
+            au.discard(v)
+            au |= nbrs
+            au.discard(u)
+        for u in nbrs:
+            deg[u] = len(adj[u])
+        adj[v] = set()
+    return perm
+
+
+def multiple_minimum_degree(graph: SymmetricGraph, delta: int = 0) -> np.ndarray:
+    """Liu's multiple minimum degree ordering.
+
+    ``delta`` is the multiple-elimination tolerance: nodes whose external
+    degree is within ``delta`` of the minimum are eligible in the same
+    elimination pass (delta = 0 reproduces strict MMD).
+    """
+    n = graph.n
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    adj = _init_adjacency(graph)
+    weight = np.ones(n, dtype=np.int64)  # supervariable sizes
+    members: list[list[int]] = [[i] for i in range(n)]
+    alive = np.ones(n, dtype=bool)
+
+    def external_degree(v: int) -> int:
+        return int(sum(weight[u] for u in adj[v]))
+
+    extdeg = np.array([external_degree(i) for i in range(n)], dtype=np.int64)
+    perm: list[int] = []
+    n_remaining = n
+
+    while n_remaining > 0:
+        alive_idx = np.nonzero(alive)[0]
+        dmin = int(extdeg[alive_idx].min())
+        # --- multiple elimination: independent set of (near-)min nodes ---
+        threshold = dmin + delta
+        selected: list[int] = []
+        blocked: set[int] = set()
+        for v in alive_idx:
+            v = int(v)
+            if extdeg[v] > threshold or v in blocked:
+                continue
+            selected.append(v)
+            blocked.add(v)
+            blocked.update(adj[v])
+        touched: set[int] = set()
+        for v in selected:
+            perm.extend(members[v])
+            n_remaining -= len(members[v])
+            alive[v] = False
+            nbrs = adj[v]
+            for u in nbrs:
+                au = adj[u]
+                au.discard(v)
+                au |= nbrs
+                au.discard(u)
+            touched.update(nbrs)
+            adj[v] = set()
+        touched = {u for u in touched if alive[u]}
+
+        # --- indistinguishable-node merging among the touched nodes ---
+        by_closure: dict[frozenset[int], int] = {}
+        for u in sorted(touched):
+            closure = frozenset(adj[u] | {u})
+            rep = by_closure.get(closure)
+            if rep is None:
+                by_closure[closure] = u
+            else:
+                # u is indistinguishable from rep: merge u into rep.
+                members[rep].extend(members[u])
+                weight[rep] += weight[u]
+                alive[u] = False
+                n_remaining_unchanged = True  # members move, none eliminated
+                assert n_remaining_unchanged
+                for w in adj[u]:
+                    adj[w].discard(u)
+                adj[u] = set()
+        touched = {u for u in touched if alive[u]}
+
+        for u in touched:
+            extdeg[u] = external_degree(u)
+
+    out = np.asarray(perm, dtype=np.int64)
+    if len(out) != n:  # pragma: no cover - internal invariant
+        raise AssertionError("MMD failed to eliminate every variable")
+    return out

@@ -1,0 +1,82 @@
+"""Simple nested dissection ordering via BFS-level vertex separators.
+
+Not used by the paper (which orders everything with MMD) but provided as
+a comparison ordering for the examples and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..sparse.pattern import SymmetricGraph
+from .mmd import minimum_degree
+
+__all__ = ["nested_dissection"]
+
+
+def _subgraph(graph: SymmetricGraph, nodes: np.ndarray) -> tuple[SymmetricGraph, np.ndarray]:
+    """Induced subgraph; returns (graph, local->global map)."""
+    glob = np.asarray(sorted(nodes), dtype=np.int64)
+    local = {int(g): i for i, g in enumerate(glob)}
+    us, vs = [], []
+    for i, g in enumerate(glob.tolist()):
+        for u in graph.neighbors(g):
+            lu = local.get(int(u))
+            if lu is not None and lu > i:
+                us.append(i)
+                vs.append(lu)
+    return SymmetricGraph.from_edges(len(glob), np.asarray(us, dtype=np.int64),
+                                     np.asarray(vs, dtype=np.int64)), glob
+
+
+def _bfs_halves(graph: SymmetricGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split by BFS level median; the frontier between halves is the separator."""
+    n = graph.n
+    levels = np.full(n, -1, dtype=np.int64)
+    comp_order: list[int] = []
+    for s in range(n):
+        if levels[s] >= 0:
+            continue
+        levels[s] = 0
+        q = deque([s])
+        while q:
+            v = q.popleft()
+            comp_order.append(v)
+            for u in graph.neighbors(v):
+                if levels[u] < 0:
+                    levels[u] = levels[v] + 1
+                    q.append(int(u))
+    half = n // 2
+    in_a = np.zeros(n, dtype=bool)
+    in_a[np.asarray(comp_order[:half], dtype=np.int64)] = True
+    # Separator: nodes of side A adjacent to side B.
+    sep = []
+    for v in range(n):
+        if in_a[v] and any(not in_a[u] for u in graph.neighbors(v)):
+            sep.append(v)
+    sep = np.asarray(sep, dtype=np.int64)
+    in_sep = np.zeros(n, dtype=bool)
+    in_sep[sep] = True
+    a = np.asarray([v for v in range(n) if in_a[v] and not in_sep[v]], dtype=np.int64)
+    b = np.asarray([v for v in range(n) if not in_a[v]], dtype=np.int64)
+    return a, b, sep
+
+
+def nested_dissection(graph: SymmetricGraph, leaf_size: int = 32) -> np.ndarray:
+    """Order by recursive dissection; leaves ordered with minimum degree."""
+    if graph.n <= leaf_size or graph.num_edges == 0:
+        return minimum_degree(graph)
+    a, b, sep = _bfs_halves(graph)
+    if len(a) == 0 or len(b) == 0:
+        return minimum_degree(graph)
+    out = np.empty(graph.n, dtype=np.int64)
+    pos = 0
+    for part in (a, b):
+        sub, glob = _subgraph(graph, part)
+        sub_perm = nested_dissection(sub, leaf_size)
+        out[pos : pos + len(part)] = glob[sub_perm]
+        pos += len(part)
+    out[pos:] = sep  # separator eliminated last
+    return out

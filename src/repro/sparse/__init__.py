@@ -1,0 +1,58 @@
+"""Sparse matrix substrate: structures, numeric storage, I/O, generators."""
+
+from .coo import COOBuilder
+from .csc import LowerCSC, SymmetricCSC
+from .generators import (
+    grid5,
+    grid9,
+    knn_mesh,
+    laplacian_matrix,
+    lshape_mesh,
+    path_graph,
+    power_network,
+    random_symmetric_graph,
+    spd_from_graph,
+    star_graph,
+    stiffened_cylinder,
+)
+from .harwell_boeing import PAPER_MATRICES, TestMatrix, load, names
+from .interop import (
+    graph_from_scipy,
+    lower_to_scipy,
+    symmetric_from_scipy,
+    symmetric_to_scipy,
+)
+from .io_hb import read_harwell_boeing, write_harwell_boeing
+from .io_mm import read_matrix_market, write_matrix_market
+from .pattern import LowerPattern, SymmetricGraph
+
+__all__ = [
+    "COOBuilder",
+    "LowerCSC",
+    "SymmetricCSC",
+    "LowerPattern",
+    "SymmetricGraph",
+    "grid5",
+    "grid9",
+    "knn_mesh",
+    "laplacian_matrix",
+    "lshape_mesh",
+    "path_graph",
+    "power_network",
+    "random_symmetric_graph",
+    "spd_from_graph",
+    "star_graph",
+    "stiffened_cylinder",
+    "graph_from_scipy",
+    "lower_to_scipy",
+    "symmetric_from_scipy",
+    "symmetric_to_scipy",
+    "PAPER_MATRICES",
+    "TestMatrix",
+    "load",
+    "names",
+    "read_harwell_boeing",
+    "write_harwell_boeing",
+    "read_matrix_market",
+    "write_matrix_market",
+]

@@ -1,0 +1,74 @@
+"""Coordinate-format accumulator for building symmetric matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csc import SymmetricCSC
+from .pattern import SymmetricGraph
+
+__all__ = ["COOBuilder"]
+
+
+class COOBuilder:
+    """Accumulates (i, j, v) triples of a symmetric matrix.
+
+    Only one triangle needs to be supplied; entries are mirrored on build.
+    Duplicate entries are summed, matching the usual finite-element
+    assembly convention.
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        self._rows: list[int] = []
+        self._cols: list[int] = []
+        self._vals: list[float] = []
+
+    def add(self, i: int, j: int, v: float) -> None:
+        """Add ``v`` to entry (i, j) (and (j, i) by symmetry on build)."""
+        if not (0 <= i < self.n and 0 <= j < self.n):
+            raise IndexError(f"entry ({i}, {j}) out of range for n={self.n}")
+        self._rows.append(i)
+        self._cols.append(j)
+        self._vals.append(float(v))
+
+    def add_many(self, rows, cols, vals) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if not (len(rows) == len(cols) == len(vals)):
+            raise ValueError("rows, cols, vals must have equal length")
+        if len(rows) and (
+            rows.min() < 0 or cols.min() < 0 or rows.max() >= self.n or cols.max() >= self.n
+        ):
+            raise IndexError("entry out of range")
+        self._rows.extend(rows.tolist())
+        self._cols.extend(cols.tolist())
+        self._vals.extend(vals.tolist())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def build(self) -> SymmetricCSC:
+        """Assemble into a :class:`SymmetricCSC` (duplicates summed)."""
+        rows = np.asarray(self._rows, dtype=np.int64)
+        cols = np.asarray(self._cols, dtype=np.int64)
+        vals = np.asarray(self._vals, dtype=np.float64)
+        # Fold everything into the lower triangle.
+        lo_r = np.maximum(rows, cols)
+        lo_c = np.minimum(rows, cols)
+        key = lo_c * np.int64(self.n) + lo_r
+        uniq, inverse = np.unique(key, return_inverse=True)
+        summed = np.zeros(len(uniq), dtype=np.float64)
+        np.add.at(summed, inverse, vals)
+        out_c = uniq // self.n
+        out_r = uniq % self.n
+        return SymmetricCSC.from_entries(self.n, out_r, out_c, summed)
+
+    def build_graph(self) -> SymmetricGraph:
+        """Assemble only the structure (off-diagonal adjacency)."""
+        rows = np.asarray(self._rows, dtype=np.int64)
+        cols = np.asarray(self._cols, dtype=np.int64)
+        return SymmetricGraph.from_edges(self.n, rows, cols)

@@ -1,0 +1,115 @@
+"""Registry of the paper's five Harwell-Boeing test problems.
+
+The actual Harwell-Boeing tapes are not redistributable and are not
+available offline, so this module regenerates each problem:
+
+* **LAP30** is regenerated *exactly*: the 9-point discretization of the
+  Laplacian on the unit square with Dirichlet boundary conditions is the
+  king-move graph on a 30x30 grid (900 equations, 4322 lower nonzeros).
+* **BUS1138**, **CAN1072**, **DWT512**, **LSHP1009** are synthetic
+  structural analogues matched on order, nonzero count (within 1%) and
+  graph family; see DESIGN.md §2 for the substitution argument.
+
+All structures are deterministic (fixed seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .generators import (
+    grid9,
+    knn_mesh,
+    lshape_mesh,
+    power_network,
+    stiffened_cylinder,
+)
+from .pattern import SymmetricGraph
+
+__all__ = ["TestMatrix", "PAPER_MATRICES", "load", "names"]
+
+
+@dataclass(frozen=True)
+class TestMatrix:
+    """One row of the paper's Table 1."""
+
+    name: str
+    description: str
+    paper_n: int
+    paper_nnz: int
+    paper_factor_nnz: int
+    exact: bool
+    _builder: Callable[[], SymmetricGraph]
+
+    def build(self) -> SymmetricGraph:
+        return self._builder()
+
+
+PAPER_MATRICES: dict[str, TestMatrix] = {
+    "BUS1138": TestMatrix(
+        name="BUS1138",
+        description="Symmetric structure of power system networks "
+        "(synthetic analogue: preferential-attachment tree + loop chords)",
+        paper_n=1138,
+        paper_nnz=2596,
+        paper_factor_nnz=3304,
+        exact=False,
+        _builder=lambda: power_network(1138, 321, seed=7, local_loop_frac=0.7),
+    ),
+    "CANN1072": TestMatrix(
+        name="CANN1072",
+        description="Symmetric pattern from Cannes, Lucien Marro "
+        "(synthetic analogue: symmetrized k-NN mesh on an annulus)",
+        paper_n=1072,
+        paper_nnz=6758,
+        paper_factor_nnz=20512,
+        exact=False,
+        _builder=lambda: knn_mesh(1072, 5686, seed=3, layout="square"),
+    ),
+    "DWT512": TestMatrix(
+        name="DWT512",
+        description="Symmetric submarine frame from NSRDC "
+        "(synthetic analogue: long thin stiffened cylinder shell mesh)",
+        paper_n=512,
+        paper_nnz=2007,
+        paper_factor_nnz=3786,
+        exact=False,
+        _builder=lambda: stiffened_cylinder(4, 128, diagonals=True, stiffener_stride=2),
+    ),
+    "LAP30": TestMatrix(
+        name="LAP30",
+        description="9-point discretization of the Laplacian on the unit "
+        "square with Dirichlet boundary conditions (exact regeneration)",
+        paper_n=900,
+        paper_nnz=4322,
+        paper_factor_nnz=16697,
+        exact=True,
+        _builder=lambda: grid9(30, 30),
+    ),
+    "LSHP1009": TestMatrix(
+        name="LSHP1009",
+        description="Alan George LSHAPE problem "
+        "(analogue: right-triangulated L-shaped mesh, 33x33 grid minus 8x10 block)",
+        paper_n=1009,
+        paper_nnz=3937,
+        paper_factor_nnz=18268,
+        exact=False,
+        _builder=lambda: lshape_mesh(32, 32, 8, 10),
+    ),
+}
+
+
+def names() -> list[str]:
+    """Names of the five paper matrices, in Table 1 order."""
+    return list(PAPER_MATRICES)
+
+
+def load(name: str) -> SymmetricGraph:
+    """Build the named test structure (see :data:`PAPER_MATRICES`)."""
+    try:
+        return PAPER_MATRICES[name].build()
+    except KeyError:
+        raise KeyError(
+            f"unknown test matrix {name!r}; available: {', '.join(PAPER_MATRICES)}"
+        ) from None

@@ -1,0 +1,80 @@
+"""Symbolic Cholesky factorization: the zero/nonzero structure of L.
+
+This is the input the paper's partitioner starts from ("the partitioning
+starts with the zero-nonzero structure of the filled sparse matrix
+obtained after the symbolic factorization phase").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.pattern import LowerPattern, SymmetricGraph
+from .etree import children_lists, etree
+
+__all__ = ["symbolic_cholesky", "fill_in", "SymbolicFactor"]
+
+
+class SymbolicFactor:
+    """Structure of L for P A Pᵀ, plus the elimination tree.
+
+    Attributes
+    ----------
+    pattern : LowerPattern
+        Structure of L (diagonal included), in the permuted index space.
+    parent : ndarray
+        Elimination tree of the permuted matrix.
+    perm : ndarray
+        The ordering used (``perm[k]`` = original index of variable k).
+    """
+
+    def __init__(self, pattern: LowerPattern, parent: np.ndarray, perm: np.ndarray):
+        self.pattern = pattern
+        self.parent = parent
+        self.perm = perm
+
+    @property
+    def n(self) -> int:
+        return self.pattern.n
+
+    @property
+    def nnz(self) -> int:
+        return self.pattern.nnz
+
+    def column_counts(self) -> np.ndarray:
+        return np.diff(self.pattern.indptr)
+
+
+def symbolic_cholesky(graph: SymmetricGraph, perm=None) -> SymbolicFactor:
+    """Compute the structure of the Cholesky factor of P A Pᵀ.
+
+    Uses the column-merge recurrence
+    ``struct(L_j) = {j} ∪ adj_lower(A'_j) ∪ ⋃_{parent(c)=j} (struct(L_c) − {c})``.
+    """
+    if perm is not None:
+        perm = np.asarray(perm, dtype=np.int64)
+        work = graph.permute(perm)
+    else:
+        perm = np.arange(graph.n, dtype=np.int64)
+        work = graph
+    n = work.n
+    parent = etree(work)
+    children = children_lists(parent)
+    cols: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+    for j in range(n):
+        nbrs = work.neighbors(j)
+        pieces = [np.array([j], dtype=np.int64), nbrs[nbrs > j]]
+        for c in children[j]:
+            pieces.append(cols[c][1:])  # drop the child's diagonal entry c
+        col = np.unique(np.concatenate(pieces))
+        cols[j] = col
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum([len(c) for c in cols])
+    rowidx = np.concatenate(cols) if n else np.zeros(0, dtype=np.int64)
+    return SymbolicFactor(LowerPattern(n, indptr, rowidx), parent, perm)
+
+
+def fill_in(graph: SymmetricGraph, perm=None) -> int:
+    """Number of fill entries: nnz(L) − nnz(lower(A'))."""
+    factor = symbolic_cholesky(graph, perm)
+    return factor.nnz - graph.nnz_lower

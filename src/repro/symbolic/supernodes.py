@@ -1,0 +1,46 @@
+"""Fundamental supernode detection.
+
+A fundamental supernode is a maximal strip of consecutive columns
+[s, e] where each column c has struct(L_c) = {c} ∪ struct(L_{c+1}) for
+c < e.  The paper's *clusters* (dense-diagonal strips) are a relaxation;
+supernodes provide the strictest case and are used for cross-checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.pattern import LowerPattern
+
+__all__ = ["fundamental_supernodes", "supernode_of_column"]
+
+
+def fundamental_supernodes(pattern: LowerPattern) -> list[tuple[int, int]]:
+    """Maximal supernodes as (start, end) inclusive column ranges.
+
+    Columns c and c+1 belong to the same supernode iff
+    ``struct(col c) == {c} ∪ struct(col c+1)``.
+    """
+    n = pattern.n
+    out: list[tuple[int, int]] = []
+    if n == 0:
+        return out
+    start = 0
+    for c in range(n - 1):
+        cur = pattern.col(c)
+        nxt = pattern.col(c + 1)
+        same = len(cur) == len(nxt) + 1 and np.array_equal(cur[1:], nxt)
+        if not same:
+            out.append((start, c))
+            start = c + 1
+    out.append((start, n - 1))
+    return out
+
+
+def supernode_of_column(pattern: LowerPattern) -> np.ndarray:
+    """Map column -> index of its fundamental supernode."""
+    sns = fundamental_supernodes(pattern)
+    out = np.empty(pattern.n, dtype=np.int64)
+    for i, (s, e) in enumerate(sns):
+        out[s : e + 1] = i
+    return out

@@ -1,0 +1,29 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_figure2_custom_grid(self, capsys):
+        assert main(["figure2", "--nx", "3", "--ny", "3"]) == 0
+        assert "n=9" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "LAP30" in out and "BUS1138" in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_figure4_custom_matrix(self, capsys):
+        assert main(["figure4", "--matrix", "DWT512", "--grain", "8"]) == 0
+        assert "dependency categories" in capsys.readouterr().out

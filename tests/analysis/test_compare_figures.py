@@ -1,0 +1,55 @@
+"""Figure 1 rendering and the quantitative comparison module."""
+
+import pytest
+
+from repro.analysis import comparison_rows, figure1_ascii, render_comparison
+
+
+class TestFigure1:
+    def test_marks_present(self):
+        out = figure1_ascii()
+        assert out.count("T") >= 1
+        assert out.count("S") >= 2
+        assert "d" in out
+
+    def test_custom_indices(self):
+        out = figure1_ascii(n=6, i=5, j=3, k=1)
+        assert "L[5,3] -= L[5,1] * L[3,1]" in out
+
+    def test_invalid_indices_rejected(self):
+        with pytest.raises(ValueError):
+            figure1_ascii(n=5, i=2, j=3, k=1)  # i < j
+
+    def test_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["figure1"]) == 0
+        assert "inter-element dependencies" in capsys.readouterr().out
+
+
+class TestComparison:
+    def test_covers_many_cells(self):
+        rows = comparison_rows()
+        assert len(rows) >= 70
+        assert {r["table"] for r in rows} == {2, 3, 5}
+
+    def test_ratios_positive(self):
+        for r in comparison_rows():
+            if r["ratio"] is not None:
+                assert r["ratio"] > 0
+
+    def test_traffic_ratios_tight(self):
+        """The reproduction's headline: traffic cells land near the
+        paper's (median within 25% of 1.0)."""
+        import statistics
+
+        ratios = [
+            r["ratio"]
+            for r in comparison_rows()
+            if "traffic" in r["quantity"] and r["ratio"] is not None
+        ]
+        assert 0.75 <= statistics.median(ratios) <= 1.25
+
+    def test_render(self):
+        out = render_comparison()
+        assert "median measured/paper ratio" in out

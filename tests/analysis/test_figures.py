@@ -1,0 +1,37 @@
+"""Figure regenerations."""
+
+import pytest
+
+from repro.analysis import figure2_ascii, figure3_ascii, figure4_report
+
+
+class TestFigure2:
+    def test_contains_fill_marks(self):
+        out = figure2_ascii(4, 4)
+        assert "#" in out
+        assert "n=16" in out
+
+    def test_lower_triangle_shape(self):
+        out = figure2_ascii(3, 3)
+        rows = [l for l in out.splitlines() if l and set(l) <= set("#+.")]
+        assert len(rows) == 9
+        assert [len(r) for r in rows] == list(range(1, 10))
+
+
+class TestFigure3:
+    def test_contains_units(self):
+        out = figure3_ascii()
+        assert "triangle" in out
+        assert "rectangle" in out
+
+    def test_validates_depth(self):
+        with pytest.raises(ValueError):
+            figure3_ascii(width=9, depth=9)
+
+
+class TestFigure4:
+    def test_reports_all_categories(self):
+        out = figure4_report("DWT512", grain=8)
+        for cat in range(11):
+            assert f"\n{cat:>4}" in out or f" {cat} " in out or out.count(str(cat))
+        assert "a column updates a column" in out

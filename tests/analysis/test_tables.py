@@ -1,0 +1,45 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis import format_number, render_table
+
+
+class TestFormatNumber:
+    def test_int(self):
+        assert format_number(42) == "42"
+
+    def test_float(self):
+        assert format_number(3.14159) == "3.14"
+
+    def test_large_whole_float(self):
+        assert format_number(1234.0) == "1234"
+
+    def test_none(self):
+        assert format_number(None) == "-"
+
+    def test_string(self):
+        assert format_number("abc") == "abc"
+
+    def test_decimals(self):
+        assert format_number(0.5, decimals=3) == "0.500"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["col"], [])
+        assert "col" in out

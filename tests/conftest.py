@@ -1,0 +1,132 @@
+"""Shared fixtures and brute-force reference implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import prepare
+from repro.sparse import grid5, grid9, spd_from_graph
+from repro.sparse.pattern import LowerPattern, SymmetricGraph
+
+# ----------------------------------------------------------------------
+# Brute-force references (kept deliberately naive)
+# ----------------------------------------------------------------------
+
+
+def brute_force_fill(dense_bool: np.ndarray) -> np.ndarray:
+    """Symbolic Cholesky by literal elimination on a dense boolean matrix.
+    Returns the boolean lower-triangular structure of L (diag included)."""
+    a = dense_bool.copy()
+    n = a.shape[0]
+    np.fill_diagonal(a, True)
+    for k in range(n):
+        rows = np.nonzero(a[k + 1 :, k])[0] + k + 1
+        for i in rows:
+            for j in rows:
+                a[i, j] = True
+    return np.tril(a)
+
+
+def brute_force_etree(dense_lower: np.ndarray) -> np.ndarray:
+    """parent[j] = min{i > j : L[i, j] != 0} on the *filled* structure."""
+    filled = brute_force_fill(dense_lower | dense_lower.T)
+    n = filled.shape[0]
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        below = np.nonzero(filled[j + 1 :, j])[0]
+        if len(below):
+            parent[j] = j + 1 + below[0]
+    return parent
+
+
+def brute_force_updates(pattern: LowerPattern) -> set[tuple[int, int, int]]:
+    """All (i, j, k) pair updates, by triple loop."""
+    out = set()
+    dense = pattern.to_dense_bool()
+    n = pattern.n
+    for k in range(n):
+        for j in range(k + 1, n):
+            if not dense[j, k]:
+                continue
+            for i in range(j, n):
+                if dense[i, k]:
+                    out.add((i, j, k))
+    return out
+
+
+def brute_force_traffic(owner: np.ndarray, pattern: LowerPattern,
+                        include_scale: bool = True) -> np.ndarray:
+    """Distinct non-local element reads per processor, by literal walk."""
+    nprocs = int(owner.max()) + 1 if len(owner) else 1
+    dense = pattern.to_dense_bool()
+    n = pattern.n
+    eid = {}
+    cols = pattern.element_cols()
+    for e in range(pattern.nnz):
+        eid[(int(pattern.rowidx[e]), int(cols[e]))] = e
+    fetched: list[set[int]] = [set() for _ in range(nprocs)]
+    for k in range(n):
+        rows = [i for i in range(k + 1, n) if dense[i, k]]
+        for j in rows:
+            for i in rows:
+                if i < j:
+                    continue
+                p = int(owner[eid[(i, j)]])
+                for src in (eid[(i, k)], eid[(j, k)]):
+                    if int(owner[src]) != p:
+                        fetched[p].add(src)
+    if include_scale:
+        for (i, j), e in eid.items():
+            p = int(owner[e])
+            d = eid[(j, j)]
+            if int(owner[d]) != p:
+                fetched[p].add(d)
+    return np.asarray([len(s) for s in fetched], dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def grid_graph() -> SymmetricGraph:
+    return grid5(5, 5)
+
+
+@pytest.fixture(scope="session")
+def king_graph() -> SymmetricGraph:
+    return grid9(6, 6)
+
+
+@pytest.fixture(scope="session")
+def small_spd():
+    return spd_from_graph(grid5(4, 4), seed=11)
+
+
+@pytest.fixture(scope="session")
+def prepared_grid():
+    """An MMD-ordered, symbolically-factored 8x8 9-point grid."""
+    return prepare(grid9(8, 8), name="grid9(8,8)")
+
+
+@pytest.fixture(scope="session")
+def prepared_lap30():
+    """The paper's LAP30 problem, prepared once per test session."""
+    from repro.sparse import load
+
+    return prepare(load("LAP30"), name="LAP30")
+
+
+def random_connected_graph(n: int, extra: int, seed: int) -> SymmetricGraph:
+    """Random spanning tree + ``extra`` chords (test workload helper)."""
+    rng = np.random.default_rng(seed)
+    us = [int(rng.integers(v)) for v in range(1, n)]
+    vs = list(range(1, n))
+    for _ in range(extra):
+        a, b = int(rng.integers(n)), int(rng.integers(n))
+        if a != b:
+            us.append(a)
+            vs.append(b)
+    return SymmetricGraph.from_edges(n, np.asarray(us), np.asarray(vs))

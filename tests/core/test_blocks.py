@@ -1,0 +1,72 @@
+"""Block types."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockKind, DenseBlock, UnitBlock
+
+
+class TestDenseBlock:
+    def test_triangle_area(self):
+        b = DenseBlock(BlockKind.TRIANGLE, 0, 2, 5, 2, 5)
+        assert b.width == 4
+        assert b.area == 10
+
+    def test_rectangle_area(self):
+        b = DenseBlock(BlockKind.RECTANGLE, 0, 0, 2, 10, 14)
+        assert b.area == 15
+        assert b.height == 5
+
+    def test_triangle_extent_validation(self):
+        with pytest.raises(ValueError):
+            DenseBlock(BlockKind.TRIANGLE, 0, 0, 3, 1, 4)
+
+    def test_column_extent_validation(self):
+        with pytest.raises(ValueError):
+            DenseBlock(BlockKind.COLUMN, 0, 0, 1, 0, 5)
+
+    def test_empty_extent_rejected(self):
+        with pytest.raises(ValueError):
+            DenseBlock(BlockKind.RECTANGLE, 0, 3, 2, 0, 1)
+
+    def test_contains_triangle(self):
+        b = DenseBlock(BlockKind.TRIANGLE, 0, 1, 3, 1, 3)
+        assert b.contains(3, 1)
+        assert b.contains(2, 2)
+        assert not b.contains(1, 2)  # above the diagonal
+        assert not b.contains(4, 2)  # below the extent
+
+    def test_contains_rectangle(self):
+        b = DenseBlock(BlockKind.RECTANGLE, 0, 0, 1, 5, 7)
+        assert b.contains(6, 0)
+        assert not b.contains(4, 0)
+
+
+class TestUnitBlock:
+    def test_properties(self):
+        u = UnitBlock(
+            uid=3,
+            kind=BlockKind.RECTANGLE,
+            cluster=1,
+            col_lo=0,
+            col_hi=2,
+            row_lo=5,
+            row_hi=6,
+            elements=np.array([7, 8, 9]),
+        )
+        assert u.area == 6
+        assert u.nnz == 3
+        assert "uid=3" in repr(u)
+
+    def test_triangle_area(self):
+        u = UnitBlock(
+            uid=0,
+            kind=BlockKind.TRIANGLE,
+            cluster=0,
+            col_lo=4,
+            col_hi=6,
+            row_lo=4,
+            row_hi=6,
+            elements=np.arange(6),
+        )
+        assert u.area == 6

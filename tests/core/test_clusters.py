@@ -1,0 +1,168 @@
+"""Cluster identification (paper §3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import find_clusters
+from repro.core.blocks import BlockKind
+from repro.sparse.pattern import LowerPattern
+from repro.symbolic import symbolic_cholesky
+
+from ..conftest import random_connected_graph
+
+
+def _dense_strip_pattern() -> LowerPattern:
+    """Columns 0-3 dense triangle + two row runs below; cols 4-5 singles."""
+    rows, cols = [], []
+    for c in range(4):
+        for r in range(c, 4):
+            rows.append(r)
+            cols.append(c)
+        for r in (6, 7, 9):  # two runs: [6,7] and [9]
+            rows.append(r)
+            cols.append(c)
+    rows += [5, 6, 7, 8, 9, 6, 7, 8, 9, 7, 8, 9, 8, 9, 9]
+    cols += [4, 4, 4, 4, 4, 5, 5, 5, 5, 6, 6, 6, 7, 7, 8]
+    return LowerPattern.from_entries(10, rows, cols)
+
+
+class TestFindClusters:
+    def test_strip_detected(self):
+        p = _dense_strip_pattern()
+        cs = find_clusters(p, min_width=2)
+        first = cs[0]
+        assert not first.is_column
+        assert (first.col_lo, first.col_hi) == (0, 3)
+
+    def test_rectangles_are_row_runs(self):
+        p = _dense_strip_pattern()
+        cs = find_clusters(p, min_width=2)
+        rects = cs[0].rectangles
+        assert [(r.row_lo, r.row_hi) for r in rects] == [(6, 7), (9, 9)]
+        assert all(r.kind is BlockKind.RECTANGLE for r in rects)
+
+    def test_triangle_extent(self):
+        p = _dense_strip_pattern()
+        tri = find_clusters(p, min_width=2)[0].triangle
+        assert (tri.col_lo, tri.col_hi, tri.row_lo, tri.row_hi) == (0, 3, 0, 3)
+
+    def test_min_width_breaks_strip(self):
+        p = _dense_strip_pattern()
+        cs = find_clusters(p, min_width=5)
+        # Strip of width 4 < 5 must be broken into single columns.
+        assert all(c.is_column for c in cs.clusters[:4])
+
+    def test_columns_partitioned(self):
+        p = _dense_strip_pattern()
+        for mw in (1, 2, 4, 8):
+            cs = find_clusters(p, min_width=mw)
+            cols = []
+            for c in cs:
+                cols.extend(range(c.col_lo, c.col_hi + 1))
+            assert cols == list(range(p.n))
+
+    def test_dense_pattern_single_cluster(self):
+        p = LowerPattern.dense(6)
+        cs = find_clusters(p, min_width=2)
+        assert len(cs) == 1
+        assert cs[0].width == 6
+        assert cs[0].rectangles == ()
+
+    def test_diagonal_pattern_all_columns(self):
+        p = LowerPattern.from_entries(5, [], [])
+        cs = find_clusters(p, min_width=2)
+        assert len(cs) == 5
+        assert all(c.is_column for c in cs)
+
+    def test_zero_tolerance_admits_gap(self):
+        """The paper's column-34 example: a zero in the triangle blocks
+        the strip at tolerance 0 but joins at a positive tolerance."""
+        rows, cols = [], []
+        for c in range(4):
+            for r in range(c, 4):
+                if (r, c) == (3, 0):
+                    continue  # one hole in the triangle
+                rows.append(r)
+                cols.append(c)
+        p = LowerPattern.from_entries(4, rows, cols)
+        strict = find_clusters(p, min_width=2)
+        assert strict[0].col_hi - strict[0].col_lo + 1 < 4 or strict[0].is_column
+        relaxed = find_clusters(p, min_width=2, zero_tolerance=0.2)
+        assert (relaxed[0].col_lo, relaxed[0].col_hi) == (0, 3)
+        assert relaxed[0].padding_zeros == 1
+
+    def test_scan_resumes_after_narrow_strip(self):
+        """A too-narrow strip emits one column and re-tries from the next
+        column, so a wide cluster starting one column later is found
+        (paper's column 34 vs cluster 35-41)."""
+        # Column 0 not dense with 1..4; columns 1-4 dense.
+        rows, cols = [], []
+        rows += [0, 4]  # column 0: diag + distant row only
+        cols += [0, 0]
+        for c in range(1, 5):
+            for r in range(c, 5):
+                rows.append(r)
+                cols.append(c)
+        p = LowerPattern.from_entries(5, rows, cols)
+        cs = find_clusters(p, min_width=3)
+        assert cs[0].is_column
+        assert (cs[1].col_lo, cs[1].col_hi) == (1, 4)
+
+    def test_cluster_of_column_map(self):
+        p = _dense_strip_pattern()
+        cs = find_clusters(p, min_width=2)
+        m = cs.cluster_of_column
+        assert m[0] == m[3]
+        assert m[4] != m[3]
+
+    def test_invalid_params(self):
+        p = LowerPattern.dense(3)
+        with pytest.raises(ValueError):
+            find_clusters(p, min_width=0)
+        with pytest.raises(ValueError):
+            find_clusters(p, zero_tolerance=1.0)
+
+    def test_triangle_density_invariant(self):
+        """With zero tolerance, every triangle element must be present."""
+        g = random_connected_graph(40, 60, seed=5)
+        p = symbolic_cholesky(g).pattern
+        cs = find_clusters(p, min_width=2, zero_tolerance=0.0)
+        for c in cs:
+            if c.is_column:
+                continue
+            for col in range(c.col_lo, c.col_hi + 1):
+                for row in range(col, c.col_hi + 1):
+                    assert p.has(row, col)
+
+    @given(st.integers(3, 30), st.integers(0, 40), st.integers(0, 2**31 - 1),
+           st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_property(self, n, extra, seed, min_width):
+        g = random_connected_graph(n, extra, seed)
+        p = symbolic_cholesky(g).pattern
+        cs = find_clusters(p, min_width=min_width)
+        cols = []
+        for c in cs:
+            cols.extend(range(c.col_lo, c.col_hi + 1))
+            if not c.is_column:
+                assert c.width >= min_width
+        assert cols == list(range(n))
+
+    @given(st.integers(3, 25), st.integers(0, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_rectangles_cover_all_below_rows(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed)
+        p = symbolic_cholesky(g).pattern
+        cs = find_clusters(p, min_width=2)
+        for c in cs:
+            if c.is_column:
+                continue
+            below = set()
+            for col in range(c.col_lo, c.col_hi + 1):
+                below.update(r for r in p.col(col).tolist() if r > c.col_hi)
+            covered = set()
+            for r in c.rectangles:
+                covered.update(range(r.row_lo, r.row_hi + 1))
+            assert below <= covered

@@ -1,0 +1,80 @@
+"""Cluster behaviour on real (grid) factors — the paper's Figure 2 story."""
+
+import numpy as np
+import pytest
+
+from repro.core import find_clusters, prepare
+from repro.sparse import grid5, grid9
+from repro.symbolic import fundamental_supernodes
+
+
+@pytest.fixture(scope="module")
+def grid_factor():
+    return prepare(grid5(7, 7), name="grid5(7,7)").pattern
+
+
+class TestGridClusters:
+    def test_dense_tail_is_clustered(self, grid_factor):
+        """MMD ordering leaves a dense trailing block — like the paper's
+        columns 35-41 cluster — so the last cluster is multi-column and
+        the widest cluster sits in the trailing part of the matrix."""
+        cs = find_clusters(grid_factor, min_width=2)
+        last = cs[len(cs) - 1]
+        assert not last.is_column
+        assert last.col_hi == grid_factor.n - 1
+        widest = max(cs, key=lambda c: c.width)
+        assert widest.col_hi >= 0.7 * grid_factor.n
+
+    def test_trailing_cluster_has_no_rectangles(self, grid_factor):
+        """The last cluster reaches the matrix border: nothing below it
+        (the paper: 'this cluster has one dense triangle and no
+        rectangles below it')."""
+        cs = find_clusters(grid_factor, min_width=2)
+        last = cs[len(cs) - 1]
+        assert last.rectangles == ()
+
+    def test_cluster_triangles_contain_supernode_triangles(self, grid_factor):
+        """Greedy left-to-right growth may *split* a fundamental
+        supernode at a strip boundary (the strip started earlier and ran
+        out of density), but every multi-column cluster's triangle is
+        dense, so each cluster is itself supernode-like: its columns all
+        reach the cluster's last row."""
+        cs = find_clusters(grid_factor, min_width=1)
+        for c in cs:
+            if c.is_column:
+                continue
+            for col in range(c.col_lo, c.col_hi + 1):
+                rows = set(grid_factor.col(col).tolist())
+                assert set(range(col, c.col_hi + 1)) <= rows
+
+    def test_supernodes_split_only_at_boundaries(self, grid_factor):
+        """When a supernode spans clusters, the split is a clean cut:
+        each piece is a contiguous column range of one cluster."""
+        cs = find_clusters(grid_factor, min_width=1)
+        cmap = cs.cluster_of_column
+        for s, e in fundamental_supernodes(grid_factor):
+            ids = cmap[s : e + 1]
+            # Pieces are contiguous: the cluster id is non-decreasing.
+            assert (np.diff(ids) >= 0).all()
+
+    def test_most_early_columns_single(self, grid_factor):
+        """MMD eliminates independent low-degree nodes first, so the left
+        part of the factor is dominated by single-column clusters."""
+        cs = find_clusters(grid_factor, min_width=2)
+        first_half = [c for c in cs if c.col_hi < grid_factor.n // 2]
+        singles = sum(1 for c in first_half if c.is_column)
+        assert singles >= 0.6 * len(first_half)
+
+    def test_min_width_monotone_cluster_count(self, grid_factor):
+        counts = {}
+        for w in (1, 2, 4, 8):
+            cs = find_clusters(grid_factor, min_width=w)
+            counts[w] = sum(1 for c in cs if not c.is_column)
+        assert counts[1] >= counts[2] >= counts[4] >= counts[8]
+
+    def test_lap30_cluster_census_stable(self, prepared_lap30):
+        """Regression pin: the LAP30 cluster census at the paper's width."""
+        cs = find_clusters(prepared_lap30.pattern, min_width=4)
+        multi = [c for c in cs if not c.is_column]
+        assert len(multi) == 30
+        assert max(c.width for c in multi) >= 20  # trailing dense block

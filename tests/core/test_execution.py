@@ -1,0 +1,87 @@
+"""Per-processor execution ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    block_mapping,
+    critical_path_priority,
+    execution_order,
+    wrap_mapping,
+)
+from repro.machine import unit_work
+
+
+@pytest.fixture(scope="module")
+def mapped(prepared_grid):
+    return block_mapping(prepared_grid, 4, grain=4)
+
+
+class TestExecutionOrder:
+    def test_covers_every_unit_once(self, mapped):
+        seqs = execution_order(mapped.assignment, mapped.dependencies)
+        all_units = np.concatenate(seqs)
+        assert sorted(all_units.tolist()) == list(
+            range(mapped.partition.num_units)
+        )
+
+    def test_units_on_their_processor(self, mapped):
+        seqs = execution_order(mapped.assignment, mapped.dependencies)
+        for p, seq in enumerate(seqs):
+            for u in seq.tolist():
+                assert int(mapped.assignment.proc_of_unit[u]) == p
+
+    def test_respects_dependencies_globally(self, mapped):
+        seqs = execution_order(mapped.assignment, mapped.dependencies)
+        position = np.empty(mapped.partition.num_units, dtype=np.int64)
+        order = np.concatenate(
+            [np.zeros(0, dtype=np.int64)] + [s for s in seqs]
+        )
+        # Reconstruct the single global sequence used for splitting: the
+        # per-processor lists preserve the global topological positions,
+        # so for any edge within one processor the source must come first.
+        for p, seq in enumerate(seqs):
+            pos = {int(u): i for i, u in enumerate(seq.tolist())}
+            for s, t in mapped.dependencies.edges.tolist():
+                if s in pos and t in pos:
+                    assert pos[s] < pos[t]
+
+    def test_priority_changes_order(self, mapped):
+        uw = unit_work(mapped.partition, mapped.prepared.updates)
+        prio = critical_path_priority(mapped.dependencies, uw)
+        default = execution_order(mapped.assignment, mapped.dependencies)
+        prioritized = execution_order(
+            mapped.assignment, mapped.dependencies, priority=prio
+        )
+        # Both valid; they may or may not coincide, but shapes must match.
+        assert [len(s) for s in default] == [len(s) for s in prioritized]
+
+    def test_priority_length_checked(self, mapped):
+        with pytest.raises(ValueError):
+            execution_order(
+                mapped.assignment, mapped.dependencies, priority=np.ones(3)
+            )
+
+    def test_requires_block_assignment(self, prepared_grid, mapped):
+        w = wrap_mapping(prepared_grid, 4)
+        with pytest.raises(ValueError):
+            execution_order(w.assignment, mapped.dependencies)
+
+
+class TestCriticalPathPriority:
+    def test_sink_units_have_own_work(self, mapped):
+        uw = unit_work(mapped.partition, mapped.prepared.updates)
+        cp = -critical_path_priority(mapped.dependencies, uw)
+        for u in range(mapped.partition.num_units):
+            if len(mapped.dependencies.successors[u]) == 0:
+                assert cp[u] == pytest.approx(uw[u])
+
+    def test_monotone_along_edges(self, mapped):
+        uw = unit_work(mapped.partition, mapped.prepared.updates)
+        cp = -critical_path_priority(mapped.dependencies, uw)
+        for s, t in mapped.dependencies.edges.tolist():
+            assert cp[s] >= cp[t] + uw[s] - 1e-9
+
+    def test_length_checked(self, mapped):
+        with pytest.raises(ValueError):
+            critical_path_priority(mapped.dependencies, np.ones(2))

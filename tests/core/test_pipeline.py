@@ -1,0 +1,82 @@
+"""Pipeline drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import block_mapping, prepare, wrap_mapping
+from repro.sparse import grid9
+
+
+class TestPrepare:
+    def test_prepare_names(self, prepared_grid):
+        assert prepared_grid.name == "grid9(8,8)"
+        assert prepared_grid.factor_nnz >= prepared_grid.graph.nnz_lower
+
+    def test_updates_cached(self, prepared_grid):
+        assert prepared_grid.updates is prepared_grid.updates
+
+    def test_total_work_positive(self, prepared_grid):
+        assert prepared_grid.total_work > 0
+
+    def test_natural_ordering(self):
+        g = grid9(4, 4)
+        prep = prepare(g, ordering="natural")
+        assert np.array_equal(prep.perm, np.arange(g.n))
+
+
+class TestBlockMapping:
+    def test_summary_fields(self, prepared_grid):
+        r = block_mapping(prepared_grid, 4, grain=4)
+        s = r.summary()
+        assert s["scheme"] == "block"
+        assert s["nprocs"] == 4
+        assert s["traffic_total"] == r.traffic.total
+        assert s["imbalance"] == r.balance.imbalance
+
+    def test_work_conserved(self, prepared_grid):
+        for p in (1, 2, 4, 8):
+            r = block_mapping(prepared_grid, p, grain=4)
+            assert r.balance.total == prepared_grid.total_work
+
+    def test_single_proc_no_traffic(self, prepared_grid):
+        r = block_mapping(prepared_grid, 1, grain=4)
+        assert r.traffic.total == 0
+        assert r.balance.imbalance == 0.0
+
+    def test_partition_attached(self, prepared_grid):
+        r = block_mapping(prepared_grid, 4, grain=4)
+        assert r.partition is not None
+        assert r.dependencies is not None
+        r.partition.check_exact_cover()
+
+    def test_grain_trade_off(self, prepared_grid):
+        lo = block_mapping(prepared_grid, 8, grain=2)
+        hi = block_mapping(prepared_grid, 8, grain=30)
+        assert hi.traffic.total <= lo.traffic.total
+
+    def test_scale_traffic_toggle(self, prepared_grid):
+        with_scale = block_mapping(prepared_grid, 4, grain=4)
+        without = block_mapping(
+            prepared_grid, 4, grain=4, include_scale_traffic=False
+        )
+        assert without.traffic.total <= with_scale.traffic.total
+
+
+class TestWrapMapping:
+    def test_single_proc_no_traffic(self, prepared_grid):
+        r = wrap_mapping(prepared_grid, 1)
+        assert r.traffic.total == 0
+        assert r.balance.imbalance == 0.0
+
+    def test_work_conserved(self, prepared_grid):
+        for p in (1, 3, 16):
+            r = wrap_mapping(prepared_grid, p)
+            assert r.balance.total == prepared_grid.total_work
+
+    def test_no_partition(self, prepared_grid):
+        r = wrap_mapping(prepared_grid, 4)
+        assert r.partition is None
+
+    def test_traffic_grows_with_procs(self, prepared_grid):
+        t = [wrap_mapping(prepared_grid, p).traffic.total for p in (1, 2, 4, 8)]
+        assert t == sorted(t)

@@ -1,0 +1,80 @@
+"""Structural validators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ValidationError,
+    analyze_dependencies,
+    block_mapping,
+    partition_factor,
+    validate_assignment,
+    validate_dependencies,
+    validate_partition,
+    wrap_assignment,
+)
+
+
+class TestValidatePartition:
+    def test_valid_partition_passes(self, prepared_grid):
+        part = partition_factor(prepared_grid.pattern, grain=4, min_width=2)
+        validate_partition(part)
+
+    def test_detects_double_cover(self, prepared_grid):
+        part = partition_factor(prepared_grid.pattern, grain=4, min_width=2)
+        # Corrupt: give unit 1 an element of unit 0.
+        part.units[1].elements = np.concatenate(
+            [part.units[1].elements, part.units[0].elements[:1]]
+        )
+        with pytest.raises(ValidationError, match="exactly once"):
+            validate_partition(part)
+
+    def test_detects_extent_violation(self, prepared_grid):
+        part = partition_factor(prepared_grid.pattern, grain=4, min_width=2)
+        u = part.units[0]
+        u.row_hi = u.row_lo - 0  # keep valid...
+        # ...then shrink so an owned element falls outside.
+        if u.nnz > 1:
+            u.row_hi = int(prepared_grid.pattern.rowidx[u.elements[0]])
+            if any(
+                int(prepared_grid.pattern.rowidx[e]) > u.row_hi
+                for e in u.elements.tolist()
+            ):
+                with pytest.raises(ValidationError):
+                    validate_partition(part)
+
+
+class TestValidateDependencies:
+    def test_valid_deps_pass(self, prepared_grid):
+        part = partition_factor(prepared_grid.pattern, grain=4, min_width=2)
+        deps = analyze_dependencies(part, prepared_grid.updates)
+        validate_dependencies(deps)
+
+    def test_detects_cycle(self, prepared_grid):
+        part = partition_factor(prepared_grid.pattern, grain=4, min_width=2)
+        deps = analyze_dependencies(part, prepared_grid.updates)
+        if len(deps.edges) == 0:
+            pytest.skip("no edges")
+        e = deps.edges.copy()
+        e = np.vstack([e, e[:1, ::-1]])  # add a reverse edge -> cycle
+        deps.edges = e
+        with pytest.raises(ValidationError):
+            validate_dependencies(deps)
+
+
+class TestValidateAssignment:
+    def test_valid_block_assignment(self, prepared_grid):
+        r = block_mapping(prepared_grid, 4, grain=4)
+        validate_assignment(r.assignment)
+
+    def test_valid_wrap_assignment(self, prepared_grid):
+        validate_assignment(wrap_assignment(prepared_grid.pattern, 4))
+
+    def test_detects_owner_mismatch(self, prepared_grid):
+        r = block_mapping(prepared_grid, 4, grain=4)
+        r.assignment.owner_of_element = r.assignment.owner_of_element.copy()
+        r.assignment.owner_of_element[0] = (
+            r.assignment.owner_of_element[0] + 1
+        ) % 4
+        with pytest.raises(ValidationError, match="disagree"):
+            validate_assignment(r.assignment)

@@ -1,0 +1,63 @@
+"""Wrap-mapped column baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import block_cyclic_columns, wrap_assignment
+from repro.sparse import grid5
+from repro.symbolic import symbolic_cholesky
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return symbolic_cholesky(grid5(6, 6)).pattern
+
+
+class TestWrapAssignment:
+    def test_column_cyclic(self, pattern):
+        a = wrap_assignment(pattern, 4)
+        cols = pattern.element_cols()
+        assert np.array_equal(a.owner_of_element, cols % 4)
+
+    def test_proc_of_unit_is_columns(self, pattern):
+        a = wrap_assignment(pattern, 3)
+        assert np.array_equal(a.proc_of_unit, np.arange(pattern.n) % 3)
+
+    def test_single_proc(self, pattern):
+        a = wrap_assignment(pattern, 1)
+        assert (a.owner_of_element == 0).all()
+
+    def test_more_procs_than_columns(self):
+        p = symbolic_cholesky(grid5(2, 2)).pattern
+        a = wrap_assignment(p, 100)
+        assert a.owner_of_element.max() < p.n
+
+    def test_bad_nprocs(self, pattern):
+        with pytest.raises(ValueError):
+            wrap_assignment(pattern, 0)
+
+    def test_elements_of(self, pattern):
+        a = wrap_assignment(pattern, 4)
+        total = sum(len(a.elements_of(p)) for p in range(4))
+        assert total == pattern.nnz
+
+    def test_units_of(self, pattern):
+        a = wrap_assignment(pattern, 4)
+        assert set(a.units_of(0).tolist()) == set(range(0, pattern.n, 4))
+
+
+class TestBlockCyclic:
+    def test_block_one_equals_wrap(self, pattern):
+        a = wrap_assignment(pattern, 4)
+        b = block_cyclic_columns(pattern, 4, block=1)
+        assert np.array_equal(a.owner_of_element, b.owner_of_element)
+
+    def test_block_grouping(self, pattern):
+        b = block_cyclic_columns(pattern, 2, block=3)
+        assert np.array_equal(
+            b.proc_of_unit[:6], np.array([0, 0, 0, 1, 1, 1])
+        )
+
+    def test_bad_block(self, pattern):
+        with pytest.raises(ValueError):
+            block_cyclic_columns(pattern, 2, block=0)

@@ -1,0 +1,31 @@
+"""The programmatic claim checker must agree with the paper."""
+
+import pytest
+
+from repro.analysis import check_claims, render_claims
+
+
+class TestClaims:
+    def test_all_claims_hold_on_lap30(self):
+        results = check_claims("LAP30")
+        assert len(results) == 4
+        for r in results:
+            assert r.holds, f"{r.claim}: {r.evidence}"
+
+    def test_render(self):
+        out = render_claims("LAP30")
+        assert "HOLDS" in out
+        assert "FAILS" not in out
+
+    def test_cli_target(self, capsys):
+        from repro.cli import main
+
+        assert main(["claims"]) == 0
+        assert "C3" in capsys.readouterr().out
+
+    def test_claims_on_analogue_matrix(self):
+        """The trade-off claims C1-C3 must also hold on a synthetic
+        analogue (LSHP1009), not just the exact LAP30."""
+        results = {r.claim: r for r in check_claims("LSHP1009")}
+        for claim in ("C1", "C2", "C3"):
+            assert results[claim].holds, results[claim].evidence

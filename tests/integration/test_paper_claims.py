@@ -1,0 +1,110 @@
+"""Headline shape claims of the paper's evaluation (DESIGN.md C1-C4).
+
+These are the qualitative results the reproduction must preserve; the
+absolute numbers are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import block_mapping, wrap_mapping
+from repro.analysis.experiments import prepared_matrix
+
+
+@pytest.fixture(scope="module")
+def lap30():
+    return prepared_matrix("LAP30")
+
+
+@pytest.fixture(scope="module")
+def dwt512():
+    return prepared_matrix("DWT512")
+
+
+class TestC1CommunicationShape:
+    def test_block_traffic_grows_with_procs(self, lap30):
+        totals = [
+            block_mapping(lap30, p, grain=4).traffic.total for p in (4, 16, 32)
+        ]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_larger_grain_cuts_traffic(self, lap30):
+        for p in (16, 32):
+            t4 = block_mapping(lap30, p, grain=4).traffic.total
+            t25 = block_mapping(lap30, p, grain=25).traffic.total
+            # Paper: > 50% reduction on LAP30 at P in {16, 32}; require
+            # a substantial cut.
+            assert t25 < 0.7 * t4
+
+    def test_grain_effect_on_dwt(self, dwt512):
+        t4 = block_mapping(dwt512, 16, grain=4).traffic.total
+        t25 = block_mapping(dwt512, 16, grain=25).traffic.total
+        assert t25 < t4
+
+
+class TestC2LoadBalanceShape:
+    def test_imbalance_grows_with_grain(self, lap30):
+        for p in (16, 32):
+            l4 = block_mapping(lap30, p, grain=4).balance.imbalance
+            l25 = block_mapping(lap30, p, grain=25).balance.imbalance
+            assert l25 > l4
+
+    def test_imbalance_grows_with_procs_at_high_grain(self, lap30):
+        lams = [
+            block_mapping(lap30, p, grain=25).balance.imbalance
+            for p in (4, 16, 32)
+        ]
+        assert lams[0] < lams[2]
+
+
+class TestC3SchemeComparison:
+    def test_wrap_balances_better(self, lap30):
+        for p in (16, 32):
+            wrap_lam = wrap_mapping(lap30, p).balance.imbalance
+            blk_lam = block_mapping(lap30, p, grain=25).balance.imbalance
+            assert wrap_lam < blk_lam
+
+    def test_block_communicates_less(self, lap30):
+        for p in (16, 32):
+            wrap_t = wrap_mapping(lap30, p).traffic.total
+            blk_t = block_mapping(lap30, p, grain=25).traffic.total
+            assert blk_t < wrap_t
+
+    def test_block_saving_substantial_at_32(self, lap30):
+        """Paper: 50-65% traffic saving at g=25, P=32 for mesh problems."""
+        wrap_t = wrap_mapping(lap30, 32).traffic.total
+        blk_t = block_mapping(lap30, 32, grain=25).traffic.total
+        assert blk_t < 0.65 * wrap_t
+
+    def test_wrap_lambda_small_everywhere(self, lap30, dwt512):
+        for prep in (lap30, dwt512):
+            for p in (4, 16, 32):
+                assert wrap_mapping(prep, p).balance.imbalance < 0.6
+
+
+class TestC4WidthSweep:
+    def test_width_affects_tradeoff(self, lap30):
+        """Traffic and λ move with the minimum cluster width; the width-8
+        sweep must not collapse to the width-2 partitioning."""
+        results = {
+            w: block_mapping(lap30, 16, grain=4, min_width=w)
+            for w in (2, 4, 8)
+        }
+        totals = {w: r.traffic.total for w, r in results.items()}
+        assert len(set(totals.values())) > 1
+        # Wider minimum width -> fewer multi-column clusters.
+        n_multi = {
+            w: sum(1 for c in r.partition.clusters if not c.is_column)
+            for w, r in results.items()
+        }
+        assert n_multi[8] <= n_multi[4] <= n_multi[2]
+
+
+class TestInvariantsAcrossMatrices:
+    @pytest.mark.parametrize("name", ["BUS1138", "CANN1072", "DWT512", "LSHP1009"])
+    def test_every_matrix_runs_both_schemes(self, name):
+        prep = prepared_matrix(name)
+        blk = block_mapping(prep, 16, grain=4)
+        wrp = wrap_mapping(prep, 16)
+        assert blk.balance.total == wrp.balance.total == prep.total_work
+        assert blk.traffic.total > 0
+        assert wrp.traffic.total > 0

@@ -1,0 +1,53 @@
+"""Hot-spot profile metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import block_mapping, wrap_assignment, wrap_mapping
+from repro.machine import HotspotProfile, data_traffic, hotspot_profile
+
+
+class TestHotspotProfile:
+    def test_empty(self):
+        p = HotspotProfile(np.zeros((3, 3), dtype=np.int64))
+        assert p.total == 0
+        assert p.hotspot_factor == 1.0
+        assert p.pairs_for_fraction() == 0
+
+    def test_single_pair(self):
+        m = np.zeros((3, 3), dtype=np.int64)
+        m[1, 0] = 10
+        p = HotspotProfile(m)
+        assert p.active_pairs == 1
+        assert p.max_inbound == 10
+        assert p.max_outbound == 10
+        assert p.pairs_for_fraction(1.0) == 1
+
+    def test_hotspot_factor_uniform(self):
+        m = np.ones((4, 4), dtype=np.int64)
+        np.fill_diagonal(m, 0)
+        assert HotspotProfile(m).hotspot_factor == pytest.approx(1.0)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            HotspotProfile(np.ones((2, 2), dtype=np.int64)).pairs_for_fraction(0.0)
+
+    def test_profile_totals_match_traffic(self, prepared_grid):
+        a = wrap_assignment(prepared_grid.pattern, 4)
+        p = hotspot_profile(a, prepared_grid.updates)
+        t = data_traffic(a, prepared_grid.updates)
+        assert p.total == t.total
+
+    def test_block_more_concentrated_than_wrap(self, prepared_lap30):
+        """The paper's hot-spot paragraph, quantified."""
+        blk = block_mapping(prepared_lap30, 16, grain=25)
+        wrp = wrap_mapping(prepared_lap30, 16)
+        pb = hotspot_profile(blk.assignment, prepared_lap30.updates)
+        pw = hotspot_profile(wrp.assignment, prepared_lap30.updates)
+        assert pb.pairs_for_fraction(0.9) < pw.pairs_for_fraction(0.9)
+        assert pb.total < pw.total
+
+    def test_mean_partners_bounded(self, prepared_grid):
+        a = wrap_assignment(prepared_grid.pattern, 4)
+        p = hotspot_profile(a, prepared_grid.updates)
+        assert 0 <= p.mean_partners <= 3

@@ -1,0 +1,56 @@
+"""Load-balance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import imbalance_factor, load_balance
+
+
+class TestLoadBalance:
+    def test_perfect_balance(self):
+        lb = load_balance([10, 10, 10, 10])
+        assert lb.imbalance == 0.0
+        assert lb.efficiency == 1.0
+        assert lb.speedup == 4.0
+
+    def test_paper_formula(self):
+        """λ = (W_max − W_ave)·N / W_tot."""
+        w = np.array([30, 10, 10, 10])
+        lb = load_balance(w)
+        n = 4
+        expected = (lb.max - lb.mean) * n / lb.total
+        assert lb.imbalance == pytest.approx(expected)
+
+    def test_lambda_efficiency_relation(self):
+        """λ = 1/e − 1 (paper §4)."""
+        lb = load_balance([5, 15, 20, 8])
+        assert lb.imbalance == pytest.approx(1.0 / lb.efficiency - 1.0)
+
+    def test_single_proc(self):
+        lb = load_balance([42])
+        assert lb.imbalance == 0.0
+        assert lb.speedup == 1.0
+
+    def test_all_zero(self):
+        lb = load_balance([0, 0])
+        assert lb.imbalance == 0.0
+        assert lb.efficiency == 1.0
+
+    def test_one_proc_idle(self):
+        lb = load_balance([10, 0])
+        assert lb.imbalance == pytest.approx(1.0)
+        assert lb.efficiency == pytest.approx(0.5)
+
+    def test_helper(self):
+        assert imbalance_factor([4, 4]) == 0.0
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_property(self, work):
+        lb = load_balance(work)
+        assert lb.imbalance >= 0.0
+        assert 0.0 < lb.efficiency <= 1.0
+        assert lb.imbalance == pytest.approx(1.0 / lb.efficiency - 1.0)
+        assert lb.speedup <= len(work)

@@ -1,0 +1,119 @@
+"""Data-traffic accounting against the paper's definition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import block_mapping, wrap_assignment
+from repro.machine import communication_matrix, data_traffic
+from repro.symbolic import enumerate_updates, symbolic_cholesky
+
+from ..conftest import brute_force_traffic, random_connected_graph
+
+
+class TestDataTraffic:
+    def test_single_proc_zero(self, prepared_grid):
+        a = wrap_assignment(prepared_grid.pattern, 1)
+        t = data_traffic(a, prepared_grid.updates)
+        assert t.total == 0
+
+    def test_matches_brute_force_wrap(self):
+        g = random_connected_graph(18, 25, seed=4)
+        pattern = symbolic_cholesky(g).pattern
+        ups = enumerate_updates(pattern)
+        for p in (2, 3, 5):
+            a = wrap_assignment(pattern, p)
+            t = data_traffic(a, ups)
+            expected = brute_force_traffic(a.owner_of_element, pattern)
+            assert t.per_processor[: len(expected)].tolist() == expected.tolist()
+
+    def test_matches_brute_force_random_owner(self):
+        g = random_connected_graph(15, 20, seed=9)
+        pattern = symbolic_cholesky(g).pattern
+        ups = enumerate_updates(pattern)
+        rng = np.random.default_rng(0)
+        from repro.core import Assignment
+
+        owner = rng.integers(0, 4, size=pattern.nnz).astype(np.int64)
+        a = Assignment("random", 4, pattern, owner)
+        t = data_traffic(a, ups)
+        expected = brute_force_traffic(owner, pattern)
+        assert t.per_processor.tolist() == expected.tolist()
+
+    def test_caching_dedupes(self):
+        """A source element used by many updates of one processor counts
+        once (the paper's fetch-once rule)."""
+        g = random_connected_graph(14, 20, seed=5)
+        pattern = symbolic_cholesky(g).pattern
+        ups = enumerate_updates(pattern)
+        a = wrap_assignment(pattern, 2)
+        t = data_traffic(a, ups)
+        # Upper bound if every read counted: 2 reads per pair update + 1
+        # scale read per element.
+        naive = 2 * ups.num_pair_updates + pattern.nnz
+        assert t.total < naive
+
+    def test_total_and_mean(self, prepared_grid):
+        a = wrap_assignment(prepared_grid.pattern, 4)
+        t = data_traffic(a, prepared_grid.updates)
+        assert t.total == int(t.per_processor.sum())
+        assert t.mean == pytest.approx(t.total / 4)
+        assert t.max == int(t.per_processor.max())
+
+    def test_scale_toggle_monotone(self, prepared_grid):
+        a = wrap_assignment(prepared_grid.pattern, 4)
+        with_scale = data_traffic(a, prepared_grid.updates, include_scale=True)
+        without = data_traffic(a, prepared_grid.updates, include_scale=False)
+        assert without.total <= with_scale.total
+
+    def test_traffic_bounded_by_procs_times_nnz(self, prepared_grid):
+        a = wrap_assignment(prepared_grid.pattern, 8)
+        t = data_traffic(a, prepared_grid.updates)
+        assert t.total <= 8 * prepared_grid.factor_nnz
+
+    @given(st.integers(6, 16), st.integers(0, 20), st.integers(0, 2**31 - 1),
+           st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_brute_force_property(self, n, extra, seed, nprocs):
+        g = random_connected_graph(n, extra, seed)
+        pattern = symbolic_cholesky(g).pattern
+        ups = enumerate_updates(pattern)
+        a = wrap_assignment(pattern, nprocs)
+        t = data_traffic(a, ups)
+        expected = brute_force_traffic(a.owner_of_element, pattern)
+        got = t.per_processor[: len(expected)]
+        assert got.tolist() == expected.tolist()
+
+
+class TestCommunicationMatrix:
+    def test_row_sums_equal_traffic(self, prepared_grid):
+        a = wrap_assignment(prepared_grid.pattern, 4)
+        t = data_traffic(a, prepared_grid.updates)
+        c = communication_matrix(a, prepared_grid.updates)
+        assert np.array_equal(c.sum(axis=1), t.per_processor)
+
+    def test_diagonal_zero(self, prepared_grid):
+        a = wrap_assignment(prepared_grid.pattern, 4)
+        c = communication_matrix(a, prepared_grid.updates)
+        assert (np.diag(c) == 0).all()
+
+    def test_block_mapping_concentrates_traffic(self, prepared_lap30):
+        """The paper's hot-spot claim: block mappings confine most
+        communication to small processor groups.  Measured as the number
+        of ordered processor pairs needed to cover 90% of the traffic."""
+        from repro.core import wrap_mapping
+
+        def pairs_for_90pct(result):
+            c = np.sort(
+                communication_matrix(
+                    result.assignment, prepared_lap30.updates
+                ).ravel()
+            )[::-1]
+            cum = np.cumsum(c)
+            return int(np.searchsorted(cum, 0.9 * cum[-1])) + 1
+
+        nprocs = 16
+        blk = block_mapping(prepared_lap30, nprocs, grain=25)
+        wrp = wrap_mapping(prepared_lap30, nprocs)
+        assert pairs_for_90pct(blk) < pairs_for_90pct(wrp)

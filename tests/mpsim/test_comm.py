@@ -1,0 +1,189 @@
+"""Simulated message-passing communicator."""
+
+import numpy as np
+import pytest
+
+from repro.mpsim import ANY_SOURCE, ANY_TAG, CommWorld, MPSimError, run_parallel
+
+
+class TestPointToPoint:
+    def test_ping_pong(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("ping", 1)
+                return comm.recv(1)
+            msg = comm.recv(0)
+            comm.send(msg + "-pong", 0)
+            return msg
+
+        out = run_parallel(fn, 2)
+        assert out == ["ping-pong", "ping"]
+
+    def test_tag_matching_out_of_order(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+                return None
+            second = comm.recv(0, tag=2)  # delivered before tag-1 message
+            first = comm.recv(0, tag=1)
+            return (first, second)
+
+        out = run_parallel(fn, 2)
+        assert out[1] == ("a", "b")
+
+    def test_any_source(self):
+        def fn(comm):
+            if comm.rank == 0:
+                got = set()
+                for _ in range(2):
+                    status = {}
+                    comm.recv(ANY_SOURCE, ANY_TAG, status)
+                    got.add(status["source"])
+                return got
+            comm.send(comm.rank, 0)
+            return None
+
+        assert run_parallel(fn, 3)[0] == {1, 2}
+
+    def test_numpy_payload(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(100), 1)
+                return None
+            return comm.recv(0).sum()
+
+        assert run_parallel(fn, 2)[1] == 4950
+
+    def test_payload_isolated(self):
+        """Mutation after send must not affect the receiver (pickle copy)."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                a = np.zeros(4)
+                comm.send(a, 1)
+                a[:] = 99.0
+                return None
+            return comm.recv(0).tolist()
+
+        assert run_parallel(fn, 2)[1] == [0.0, 0.0, 0.0, 0.0]
+
+    def test_invalid_dest(self):
+        def fn(comm):
+            comm.send("x", 5)
+
+        with pytest.raises(MPSimError):
+            run_parallel(fn, 2)
+
+    def test_negative_tag_rejected_on_send(self):
+        def fn(comm):
+            comm.send("x", 0, tag=-1)
+
+        with pytest.raises(MPSimError):
+            run_parallel(fn, 1)
+
+    def test_recv_timeout_deadlock(self):
+        def fn(comm):
+            comm.recv(0)  # nobody ever sends
+
+        with pytest.raises(MPSimError):
+            run_parallel(fn, 1, timeout=0.2)
+
+    def test_sendrecv(self):
+        def fn(comm):
+            other = 1 - comm.rank
+            return comm.sendrecv(comm.rank, other, other)
+
+        assert run_parallel(fn, 2) == [1, 0]
+
+    def test_stats_counted(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("hello", 1)
+            else:
+                comm.recv(0)
+            return (comm.stats.messages_sent, comm.stats.messages_received)
+
+        out = run_parallel(fn, 2)
+        assert out[0][0] == 1 and out[1][1] == 1
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            data = {"x": 1} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        assert run_parallel(fn, 4) == [{"x": 1}] * 4
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank ** 2, root=0)
+
+        out = run_parallel(fn, 4)
+        assert out[0] == [0, 1, 4, 9]
+        assert out[1] is None
+
+    def test_scatter(self):
+        def fn(comm):
+            data = [10, 20, 30] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert run_parallel(fn, 3) == [10, 20, 30]
+
+    def test_scatter_requires_size_match(self):
+        def fn(comm):
+            data = [1] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        with pytest.raises(MPSimError):
+            run_parallel(fn, 2, timeout=1.0)
+
+    def test_allgather(self):
+        def fn(comm):
+            return comm.allgather(comm.rank)
+
+        assert run_parallel(fn, 3) == [[0, 1, 2]] * 3
+
+    def test_reduce_sum(self):
+        def fn(comm):
+            return comm.reduce(comm.rank + 1, root=0)
+
+        assert run_parallel(fn, 4)[0] == 10
+
+    def test_reduce_custom_op(self):
+        def fn(comm):
+            return comm.reduce(comm.rank + 1, op=lambda a, b: a * b, root=0)
+
+        assert run_parallel(fn, 4)[0] == 24
+
+    def test_allreduce(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank)
+
+        assert run_parallel(fn, 4) == [6, 6, 6, 6]
+
+    def test_barrier(self):
+        def fn(comm):
+            comm.barrier()
+            return comm.rank
+
+        assert run_parallel(fn, 3) == [0, 1, 2]
+
+    def test_nonroot_bcast_root(self):
+        def fn(comm):
+            data = "z" if comm.rank == 2 else None
+            return comm.bcast(data, root=2)
+
+        assert run_parallel(fn, 3) == ["z"] * 3
+
+
+class TestCommWorld:
+    def test_rank_bounds(self):
+        w = CommWorld(2)
+        with pytest.raises(ValueError):
+            w.comm(2)
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            CommWorld(0)

@@ -1,0 +1,116 @@
+"""Additional communicator behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.mpsim import CommWorld, MPSimError, run_parallel
+
+
+class TestSingleRankCollectives:
+    def test_bcast_self(self):
+        assert run_parallel(lambda c: c.bcast("v", root=0), 1) == ["v"]
+
+    def test_gather_self(self):
+        assert run_parallel(lambda c: c.gather(5, root=0), 1) == [[5]]
+
+    def test_scatter_self(self):
+        assert run_parallel(lambda c: c.scatter([9], root=0), 1) == [9]
+
+    def test_allreduce_self(self):
+        assert run_parallel(lambda c: c.allreduce(3), 1) == [3]
+
+    def test_barrier_self(self):
+        assert run_parallel(lambda c: (c.barrier(), c.rank)[1], 1) == [0]
+
+
+class TestByteAccounting:
+    def test_bytes_grow_with_payload(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), 1)
+                small = comm.stats.bytes_sent
+                comm.send(np.zeros(10_000), 1)
+                return comm.stats.bytes_sent - small
+            comm.recv(0)
+            comm.recv(0)
+            return None
+
+        delta = run_parallel(fn, 2)[0]
+        assert delta > 10_000 * 8 * 0.9  # roughly the array size
+
+    def test_recv_counter(self):
+        def fn(comm):
+            if comm.rank == 0:
+                for _ in range(5):
+                    comm.send("m", 1)
+                return None
+            for _ in range(5):
+                comm.recv(0)
+            return comm.stats.messages_received
+
+        assert run_parallel(fn, 2)[1] == 5
+
+
+class TestCollectiveSemantics:
+    def test_reduce_order_deterministic(self):
+        """Non-commutative op: reduction must fold in rank order."""
+
+        def fn(comm):
+            return comm.reduce(str(comm.rank), op=lambda a, b: a + b, root=0)
+
+        assert run_parallel(fn, 4)[0] == "0123"
+
+    def test_gather_to_nonzero_root(self):
+        def fn(comm):
+            return comm.gather(comm.rank, root=2)
+
+        out = run_parallel(fn, 3)
+        assert out[2] == [0, 1, 2]
+        assert out[0] is None
+
+    def test_repeated_barriers(self):
+        def fn(comm):
+            for _ in range(10):
+                comm.barrier()
+            return comm.rank
+
+        assert run_parallel(fn, 4) == [0, 1, 2, 3]
+
+    def test_alternating_collectives(self):
+        def fn(comm):
+            total = comm.allreduce(comm.rank)
+            comm.barrier()
+            parts = comm.allgather(total * comm.rank)
+            return parts
+
+        out = run_parallel(fn, 3)
+        assert out[0] == [0, 3, 6]
+
+
+class TestMessageOrdering:
+    def test_fifo_per_sender_and_tag(self):
+        def fn(comm):
+            if comm.rank == 0:
+                for k in range(20):
+                    comm.send(k, 1, tag=5)
+                return None
+            return [comm.recv(0, tag=5) for _ in range(20)]
+
+        assert run_parallel(fn, 2)[1] == list(range(20))
+
+    def test_interleaved_sources(self):
+        def fn(comm):
+            if comm.rank == 2:
+                got = {0: [], 1: []}
+                for _ in range(10):
+                    status = {}
+                    v = comm.recv(tag=1, status=status)
+                    got[status["source"]].append(v)
+                return got
+            for k in range(5):
+                comm.send((comm.rank, k), 2, tag=1)
+            return None
+
+        got = run_parallel(fn, 3)[2]
+        assert [v for _, v in got[0]] == list(range(5))
+        assert [v for _, v in got[1]] == list(range(5))

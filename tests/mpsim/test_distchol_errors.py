@@ -1,0 +1,38 @@
+"""Error handling in the distributed factorizations."""
+
+import numpy as np
+import pytest
+
+from repro.mpsim import MPSimError, distributed_cholesky
+from repro.sparse import SymmetricCSC, grid5, spd_from_graph
+from repro.symbolic import symbolic_cholesky
+
+
+class TestFanOutErrors:
+    def test_indefinite_detected(self):
+        a = SymmetricCSC.from_entries(2, [0, 1, 1], [0, 0, 1], [1.0, 2.0, 1.0])
+        sym = symbolic_cholesky(a.graph())
+        with pytest.raises(MPSimError, match="pivot"):
+            distributed_cholesky(
+                a, sym.pattern, np.zeros(2, dtype=int), 1, timeout=5.0
+            )
+
+    def test_indefinite_detected_multirank(self):
+        """A non-positive pivot on one rank fails the whole run (and does
+        not deadlock the others)."""
+        a = SymmetricCSC.from_entries(
+            3, [0, 1, 1, 2], [0, 0, 1, 1], [1.0, 2.0, 1.0, 0.3]
+        )
+        sym = symbolic_cholesky(a.graph())
+        with pytest.raises(MPSimError):
+            distributed_cholesky(
+                a, sym.pattern, np.arange(3) % 2, 2, timeout=5.0
+            )
+
+    def test_pattern_mismatch_detected(self):
+        a = spd_from_graph(grid5(3, 3), seed=1)
+        sym = symbolic_cholesky(spd_from_graph(grid5(2, 2), seed=1).graph())
+        with pytest.raises((ValueError, MPSimError)):
+            distributed_cholesky(
+                a, sym.pattern, np.zeros(a.n, dtype=int), 1, timeout=5.0
+            )

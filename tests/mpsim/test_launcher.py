@@ -1,0 +1,32 @@
+"""SPMD launcher."""
+
+import pytest
+
+from repro.mpsim import MPSimError, run_parallel
+
+
+class TestRunParallel:
+    def test_results_in_rank_order(self):
+        assert run_parallel(lambda c: c.rank * 10, 4) == [0, 10, 20, 30]
+
+    def test_args_forwarded(self):
+        def fn(comm, a, b=0):
+            return a + b + comm.rank
+
+        assert run_parallel(fn, 2, 5, b=1) == [6, 7]
+
+    def test_exception_propagates_with_rank(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            return comm.rank
+
+        with pytest.raises(MPSimError, match="rank 1"):
+            run_parallel(fn, 3)
+
+    def test_nprocs_validated(self):
+        with pytest.raises(ValueError):
+            run_parallel(lambda c: None, 0)
+
+    def test_single_rank(self):
+        assert run_parallel(lambda c: c.size, 1) == [1]

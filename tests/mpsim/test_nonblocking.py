@@ -1,0 +1,99 @@
+"""Nonblocking operations and probes."""
+
+import time
+
+import pytest
+
+from repro.mpsim import ANY_SOURCE, ANY_TAG, MPSimError, run_parallel
+
+
+class TestIsendIrecv:
+    def test_isend_completes_immediately(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend("x", 1)
+                done, _ = req.test()
+                assert done
+                return "sent"
+            return comm.recv(0)
+
+        assert run_parallel(fn, 2) == ["sent", "x"]
+
+    def test_irecv_wait(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(41, 1)
+                return None
+            req = comm.irecv(0)
+            return req.wait() + 1
+
+        assert run_parallel(fn, 2)[1] == 42
+
+    def test_irecv_test_polls(self):
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+                comm.send("late", 1)
+                return None
+            req = comm.irecv(0)
+            done, _ = req.test()
+            polled_empty = not done
+            while True:
+                done, value = req.test()
+                if done:
+                    return polled_empty, value
+                time.sleep(0.005)
+
+        out = run_parallel(fn, 2)
+        assert out[1] == (True, "late")
+
+    def test_wait_idempotent(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(7, 1)
+                return None
+            req = comm.irecv(0)
+            first = req.wait()
+            second = req.wait()  # must return the cached result
+            return first, second
+
+        assert run_parallel(fn, 2)[1] == (7, 7)
+
+
+class TestProbe:
+    def test_probe_reports_without_consuming(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("payload", 1, tag=9)
+                return None
+            info = comm.probe(ANY_SOURCE, ANY_TAG)
+            value = comm.recv(info["source"], info["tag"])
+            return info, value
+
+        info, value = run_parallel(fn, 2)[1]
+        assert info == {"source": 0, "tag": 9}
+        assert value == "payload"
+
+    def test_iprobe_none_when_empty(self):
+        def fn(comm):
+            return comm.iprobe()
+
+        assert run_parallel(fn, 1) == [None]
+
+    def test_iprobe_hit(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(1, 1, tag=3)
+                return None
+            while comm.iprobe(tag=3) is None:
+                time.sleep(0.001)
+            return comm.iprobe(tag=3)
+
+        assert run_parallel(fn, 2)[1] == {"source": 0, "tag": 3}
+
+    def test_probe_timeout(self):
+        def fn(comm):
+            comm.probe(0, 5)
+
+        with pytest.raises(MPSimError):
+            run_parallel(fn, 1, timeout=0.2)

@@ -1,0 +1,76 @@
+"""Supernodal blocked Cholesky."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numeric import (
+    NotPositiveDefiniteError,
+    sparse_cholesky,
+    supernodal_cholesky,
+)
+from repro.ordering import multiple_minimum_degree
+from repro.sparse import (
+    SymmetricCSC,
+    grid5,
+    grid9,
+    random_symmetric_graph,
+    spd_from_graph,
+)
+from repro.symbolic import symbolic_cholesky
+
+
+class TestSupernodalCholesky:
+    def test_matches_scalar_on_grid(self):
+        g = grid9(6, 6)
+        a = spd_from_graph(g, seed=1)
+        s = sparse_cholesky(a)
+        b = supernodal_cholesky(a)
+        assert np.allclose(s.values, b.values, atol=1e-12)
+
+    def test_matches_scalar_mmd_ordered(self):
+        g = grid5(7, 7)
+        perm = multiple_minimum_degree(g)
+        a = spd_from_graph(g, seed=2).permute(perm)
+        assert np.allclose(
+            sparse_cholesky(a).values, supernodal_cholesky(a).values, atol=1e-12
+        )
+
+    def test_explicit_symbolic(self):
+        g = grid5(4, 4)
+        a = spd_from_graph(g, seed=3)
+        sym = symbolic_cholesky(a.graph())
+        L = supernodal_cholesky(a, sym)
+        assert L.pattern is sym.pattern
+
+    def test_diagonal_matrix(self):
+        a = SymmetricCSC.from_entries(4, list(range(4)), list(range(4)),
+                                      [1.0, 4.0, 9.0, 16.0])
+        L = supernodal_cholesky(a)
+        assert np.allclose(np.diag(L.to_dense()), [1, 2, 3, 4])
+
+    def test_dense_matrix_one_panel(self):
+        rng = np.random.default_rng(5)
+        m = rng.random((8, 8))
+        a = SymmetricCSC.from_dense(m @ m.T + 8 * np.eye(8))
+        L = supernodal_cholesky(a)
+        assert np.allclose(L.to_dense(), np.linalg.cholesky(a.to_dense()))
+
+    def test_rejects_indefinite_with_global_column(self):
+        a = SymmetricCSC.from_entries(3, [0, 1, 1, 2], [0, 0, 1, 1],
+                                      [1.0, 2.0, 1.0, 0.5])
+        with pytest.raises(NotPositiveDefiniteError) as ei:
+            supernodal_cholesky(a)
+        assert 0 <= ei.value.column < 3
+
+    @given(st.integers(2, 16), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_property(self, n, seed):
+        g = random_symmetric_graph(n, 0.4, seed=seed)
+        a = spd_from_graph(g, seed=seed)
+        assert np.allclose(
+            sparse_cholesky(a).values,
+            supernodal_cholesky(a).values,
+            atol=1e-10,
+        )

@@ -1,0 +1,40 @@
+"""Nested dissection ordering."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import is_permutation, nested_dissection
+from repro.sparse import grid5, path_graph
+from repro.sparse.pattern import SymmetricGraph
+from repro.symbolic import fill_in
+
+from ..conftest import random_connected_graph
+
+
+class TestNestedDissection:
+    def test_is_permutation(self):
+        g = grid5(7, 7)
+        assert is_permutation(nested_dissection(g))
+
+    def test_small_falls_back_to_md(self):
+        g = path_graph(10)
+        perm = nested_dissection(g, leaf_size=32)
+        assert is_permutation(perm)
+        assert fill_in(g, perm) == 0
+
+    def test_grid_fill_beats_natural(self):
+        g = grid5(12, 12)
+        nd = fill_in(g, nested_dissection(g, leaf_size=16))
+        natural = fill_in(g, np.arange(g.n))
+        assert nd < natural
+
+    def test_disconnected(self):
+        g = SymmetricGraph.from_edges(8, [0, 1, 4, 5], [1, 2, 5, 6])
+        assert is_permutation(nested_dissection(g, leaf_size=2))
+
+    @given(st.integers(2, 40), st.integers(0, 15), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_always_a_permutation(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed)
+        assert is_permutation(nested_dissection(g, leaf_size=8))

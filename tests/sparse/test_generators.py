@@ -1,0 +1,180 @@
+"""Tests for the structure generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.generators import (
+    grid5,
+    grid9,
+    knn_mesh,
+    laplacian_matrix,
+    lshape_mesh,
+    path_graph,
+    power_network,
+    random_symmetric_graph,
+    spd_from_graph,
+    star_graph,
+    stiffened_cylinder,
+)
+
+
+class TestGrids:
+    def test_grid5_counts(self):
+        g = grid5(3, 4)
+        assert g.n == 12
+        # edges: (3-1)*4 + 3*(4-1) = 8 + 9 = 17
+        assert g.num_edges == 17
+
+    def test_grid5_interior_degree(self):
+        g = grid5(5, 5)
+        # Node (2,2) = index 12 has 4 neighbours.
+        assert g.degree(12) == 4
+
+    def test_grid9_counts_lap30(self):
+        g = grid9(30, 30)
+        assert g.n == 900
+        assert g.nnz_lower == 4322  # paper Table 1, exact
+
+    def test_grid9_interior_degree(self):
+        g = grid9(4, 4)
+        assert g.degree(5) == 8  # interior king-move node
+
+    def test_grid9_corner_degree(self):
+        g = grid9(4, 4)
+        assert g.degree(0) == 3
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid5(0, 3)
+        with pytest.raises(ValueError):
+            grid9(3, 0)
+
+    def test_single_node_grid(self):
+        assert grid5(1, 1).num_edges == 0
+        assert grid9(1, 1).n == 1
+
+
+class TestLShape:
+    def test_node_count(self):
+        g = lshape_mesh(32, 32, 8, 10)
+        assert g.n == 33 * 33 - 80
+
+    def test_full_rectangle_when_no_cut(self):
+        g = lshape_mesh(3, 3, 0, 0)
+        assert g.n == 16
+        # horizontal 12 + vertical 12 + diagonals 9
+        assert g.num_edges == 33
+
+    def test_cut_must_fit(self):
+        with pytest.raises(ValueError):
+            lshape_mesh(3, 3, 4, 1)
+
+    def test_triangulation_connected(self):
+        import networkx as nx
+
+        g = lshape_mesh(6, 6, 2, 3)
+        u, v = g.edges()
+        G = nx.Graph(zip(u.tolist(), v.tolist()))
+        G.add_nodes_from(range(g.n))
+        assert nx.is_connected(G)
+
+
+class TestPowerNetwork:
+    def test_counts(self):
+        g = power_network(100, 20, seed=1)
+        assert g.n == 100
+        assert g.num_edges == 119  # 99 tree + 20 chords
+
+    def test_connected(self):
+        import networkx as nx
+
+        g = power_network(60, 10, seed=4)
+        u, v = g.edges()
+        G = nx.Graph(zip(u.tolist(), v.tolist()))
+        G.add_nodes_from(range(g.n))
+        assert nx.is_connected(G)
+
+    def test_deterministic(self):
+        a = power_network(50, 5, seed=9)
+        b = power_network(50, 5, seed=9)
+        assert a == b
+
+    def test_local_frac_validated(self):
+        with pytest.raises(ValueError):
+            power_network(10, 2, local_loop_frac=1.5)
+
+    def test_pure_tree(self):
+        g = power_network(30, 0, seed=2)
+        assert g.num_edges == 29
+
+
+class TestKnnMesh:
+    def test_exact_edge_target(self):
+        g = knn_mesh(60, 200, seed=2)
+        assert g.n == 60
+        assert g.num_edges == 200
+
+    def test_layouts(self):
+        for layout in ("annulus", "square"):
+            g = knn_mesh(40, 100, seed=1, layout=layout)
+            assert g.num_edges == 100
+
+    def test_bad_layout_rejected(self):
+        with pytest.raises(ValueError):
+            knn_mesh(10, 5, layout="line")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            knn_mesh(1, 0)
+
+
+class TestCylinder:
+    def test_counts_no_extras(self):
+        g = stiffened_cylinder(8, 4, diagonals=False, stiffener_stride=0)
+        assert g.n == 32
+        # rings 8*4 + longitudinal 8*3 = 56
+        assert g.num_edges == 56
+
+    def test_diagonals_add_faces(self):
+        g = stiffened_cylinder(8, 4, diagonals=True, stiffener_stride=0)
+        assert g.num_edges == 56 + 24
+
+    def test_dwt_config(self):
+        g = stiffened_cylinder(4, 128, diagonals=True, stiffener_stride=2)
+        assert g.n == 512
+        assert g.nnz_lower == 2292
+
+    def test_validates_ring(self):
+        with pytest.raises(ValueError):
+            stiffened_cylinder(2, 4)
+
+
+class TestMisc:
+    def test_path_and_star(self):
+        assert path_graph(5).num_edges == 4
+        assert star_graph(5).degree(0) == 4
+
+    def test_random_density_bounds(self):
+        with pytest.raises(ValueError):
+            random_symmetric_graph(5, 1.5)
+
+    def test_random_full_density(self):
+        g = random_symmetric_graph(6, 1.0, seed=0)
+        assert g.num_edges == 15
+
+    @given(st.integers(2, 20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_spd_from_graph_is_spd(self, n, seed):
+        g = random_symmetric_graph(n, 0.3, seed=seed)
+        a = spd_from_graph(g, seed=seed).to_dense()
+        eig = np.linalg.eigvalsh(a)
+        assert eig.min() > 0
+
+    def test_laplacian_structure(self):
+        g = path_graph(4)
+        m = laplacian_matrix(g, shift=0.5)
+        d = m.to_dense()
+        assert np.allclose(d.sum(axis=1), 0.5)
+        assert d[1, 1] == 2.5

@@ -1,0 +1,117 @@
+"""Harwell-Boeing fixed-format I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    SymmetricCSC,
+    grid5,
+    read_harwell_boeing,
+    spd_from_graph,
+    write_harwell_boeing,
+)
+from repro.sparse.io_hb import FortranFormat, harwell_boeing_string
+from repro.sparse.pattern import SymmetricGraph
+
+
+class TestFortranFormat:
+    def test_parse_int(self):
+        f = FortranFormat.parse("(16I5)")
+        assert (f.count, f.width, f.decimals) == (16, 5, None)
+
+    def test_parse_real(self):
+        f = FortranFormat.parse("(5E16.8)")
+        assert (f.count, f.width, f.decimals) == (5, 16, 8)
+
+    def test_parse_real_with_exponent_width(self):
+        f = FortranFormat.parse("(3E25.16E3)")
+        assert (f.count, f.width, f.decimals) == (3, 25, 16)
+
+    def test_parse_d_descriptor(self):
+        f = FortranFormat.parse("(4D20.12)")
+        assert f.decimals == 12
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FortranFormat.parse("(A40)")
+
+    def test_render_roundtrip(self):
+        for text in ("(8I10)", "(4E20.12)"):
+            assert FortranFormat.parse(FortranFormat.parse(text).render()).render() == \
+                FortranFormat.parse(text).render()
+
+    def test_write_read_ints(self):
+        f = FortranFormat(5, 4)
+        buf = io.StringIO()
+        f.write(buf, list(range(12)))
+        buf.seek(0)
+        out = f.read(buf, 12)
+        assert out.tolist() == list(range(12))
+
+    def test_write_read_reals(self):
+        f = FortranFormat(3, 20, 12)
+        vals = [1.0, -2.5e-7, 3.25e11]
+        buf = io.StringIO()
+        f.write(buf, vals)
+        buf.seek(0)
+        out = f.read(buf, 3)
+        assert np.allclose(out, vals, rtol=1e-11)
+
+    def test_lines_for(self):
+        assert FortranFormat(8, 10).lines_for(0) == 0
+        assert FortranFormat(8, 10).lines_for(8) == 1
+        assert FortranFormat(8, 10).lines_for(9) == 2
+
+    def test_read_truncated_raises(self):
+        f = FortranFormat(5, 4)
+        with pytest.raises(ValueError):
+            f.read(io.StringIO("   1   2\n"), 5)
+
+
+class TestHBRoundTrip:
+    def test_pattern_roundtrip(self):
+        g = grid5(4, 4)
+        buf = io.StringIO()
+        write_harwell_boeing(g, buf, title="grid", key="GRID")
+        buf.seek(0)
+        h = read_harwell_boeing(buf)
+        assert isinstance(h, SymmetricGraph)
+        assert h == g
+
+    def test_real_roundtrip(self):
+        a = spd_from_graph(grid5(3, 3), seed=7)
+        buf = io.StringIO()
+        write_harwell_boeing(a, buf)
+        buf.seek(0)
+        b = read_harwell_boeing(buf)
+        assert isinstance(b, SymmetricCSC)
+        assert b.pattern == a.pattern
+        assert np.allclose(b.values, a.values, rtol=1e-11)
+
+    def test_file_roundtrip(self, tmp_path):
+        g = grid5(5, 2)
+        p = tmp_path / "g.rsa"
+        write_harwell_boeing(g, str(p))
+        assert read_harwell_boeing(str(p)) == g
+
+    def test_header_fields(self):
+        s = harwell_boeing_string(grid5(2, 2), title="t", key="K")
+        lines = s.splitlines()
+        assert lines[0].startswith("t")
+        assert lines[0].rstrip().endswith("K")
+        assert lines[2].startswith("PSA")
+
+    def test_rsa_type_for_values(self):
+        s = harwell_boeing_string(spd_from_graph(grid5(2, 2), seed=0))
+        assert s.splitlines()[2].startswith("RSA")
+
+    def test_rejects_unknown_object(self):
+        with pytest.raises(TypeError):
+            write_harwell_boeing(42, io.StringIO())
+
+    def test_rejects_unsymmetric_type(self):
+        s = harwell_boeing_string(grid5(2, 2)).replace("PSA", "PUA")
+        with pytest.raises(ValueError):
+            read_harwell_boeing(io.StringIO(s))

@@ -1,0 +1,50 @@
+"""Golden-format guard for the Harwell-Boeing writer.
+
+The HB format is fixed-column Fortran; any drift in card layout breaks
+interoperability with external readers.  Pin the exact bytes for a tiny
+known matrix.
+"""
+
+import io
+
+import numpy as np
+
+from repro.sparse import SymmetricCSC, write_harwell_boeing
+from repro.sparse.pattern import SymmetricGraph
+
+
+class TestGoldenPattern:
+    def test_exact_cards(self):
+        g = SymmetricGraph.from_edges(3, [0, 1], [1, 2])
+        buf = io.StringIO()
+        write_harwell_boeing(g, buf, title="tiny", key="TINY")
+        lines = buf.getvalue().splitlines()
+        # Card 1: 72-char title + 8-char key.
+        assert len(lines[0]) == 80
+        assert lines[0].startswith("tiny")
+        assert lines[0].endswith("TINY    ")
+        # Card 2: five I14 counters.
+        assert lines[1] == f"{2:>14}{1:>14}{1:>14}{0:>14}{0:>14}"
+        # Card 3: type + dims (n=3, nnz=5 incl diagonal).
+        assert lines[2][:3] == "PSA"
+        assert int(lines[2][14:28]) == 3
+        assert int(lines[2][28:42]) == 3
+        assert int(lines[2][42:56]) == 5
+        # Card 4: formats.
+        assert lines[3].startswith("(8I10)")
+        # Pointers (1-based): cols 0,1,2 have 2,2,1 entries.
+        assert lines[4].split() == ["1", "3", "5", "6"]
+        # Row indices (1-based).
+        assert lines[5].split() == ["1", "2", "2", "3", "3"]
+
+    def test_values_card_roundtrip_precision(self):
+        a = SymmetricCSC.from_entries(2, [0, 1, 1], [0, 0, 1],
+                                      [1.0 / 3.0, -2.5e-7, 4.0])
+        buf = io.StringIO()
+        write_harwell_boeing(a, buf)
+        text = buf.getvalue()
+        assert "RSA" in text
+        from repro.sparse import read_harwell_boeing
+
+        b = read_harwell_boeing(io.StringIO(text))
+        assert np.allclose(b.values, a.values, rtol=1e-11)

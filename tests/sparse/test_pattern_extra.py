@@ -1,0 +1,85 @@
+"""Additional pattern-type edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.pattern import LowerPattern, SymmetricGraph
+
+
+class TestSymmetricGraphEdgeCases:
+    def test_zero_node_graph(self):
+        g = SymmetricGraph.empty(0)
+        assert g.n == 0
+        assert g.num_edges == 0
+        u, v = g.edges()
+        assert len(u) == 0
+
+    def test_self_loop_only(self):
+        g = SymmetricGraph.from_edges(2, [0, 1], [0, 1])
+        assert g.num_edges == 0
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricGraph.from_edges(3, [-1], [0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricGraph.from_edges(3, [0, 1], [2])
+
+    def test_indptr_consistency_check(self):
+        with pytest.raises(ValueError):
+            SymmetricGraph(2, np.array([0, 1]), np.array([1]))
+
+    def test_lower_of_empty(self):
+        p = SymmetricGraph.empty(3).lower()
+        assert p.nnz == 3  # diagonal only
+
+    def test_dense_bool_symmetry(self):
+        g = SymmetricGraph.from_edges(4, [0, 2], [3, 1])
+        m = g.to_dense_bool()
+        assert np.array_equal(m, m.T)
+        assert not m.diagonal().any()
+
+
+class TestLowerPatternEdgeCases:
+    def test_zero_order(self):
+        p = LowerPattern.from_entries(0, [], [])
+        assert p.nnz == 0
+        assert len(p.element_cols()) == 0
+
+    def test_dense_order_zero_and_one(self):
+        assert LowerPattern.dense(0).nnz == 0
+        p1 = LowerPattern.dense(1)
+        assert p1.nnz == 1
+        assert p1.has(0, 0)
+
+    def test_element_ids_vectorized(self):
+        p = LowerPattern.from_entries(4, [1, 3, 3], [0, 1, 2])
+        rows = np.array([1, 3, 3, 2])
+        cols = np.array([0, 1, 2, 0])
+        ids = p.element_ids(rows, cols)
+        assert ids[3] == -1  # (2, 0) absent
+        for k in range(3):
+            assert int(p.rowidx[ids[k]]) == rows[k]
+
+    def test_out_of_range_entry_rejected(self):
+        with pytest.raises(ValueError):
+            LowerPattern.from_entries(3, [3], [0])
+
+    def test_rows_cols_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LowerPattern.from_entries(3, [1], [0, 0])
+
+    def test_col_count_vector(self):
+        p = LowerPattern.dense(3)
+        assert p.col_count().tolist() == [3, 2, 1]
+
+    def test_contains_different_order(self):
+        a = LowerPattern.dense(3)
+        b = LowerPattern.dense(4)
+        assert not a.contains(b)
+        assert not b.contains(a)  # different n
+
+    def test_indptr_rowidx_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LowerPattern(2, np.array([0, 1, 3]), np.array([0, 1]))

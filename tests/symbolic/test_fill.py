@@ -1,0 +1,88 @@
+"""Symbolic factorization structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import grid5, path_graph, spd_from_graph
+from repro.symbolic import fill_in, symbolic_cholesky
+
+from ..conftest import brute_force_fill, random_connected_graph
+
+
+class TestSymbolicCholesky:
+    def test_path_no_fill(self):
+        g = path_graph(6)
+        f = symbolic_cholesky(g)
+        assert f.nnz == g.nnz_lower
+
+    def test_matches_brute_force_grid(self):
+        g = grid5(4, 4)
+        f = symbolic_cholesky(g)
+        expected = brute_force_fill(g.to_dense_bool())
+        assert np.array_equal(f.pattern.to_dense_bool(), expected)
+
+    def test_with_permutation(self):
+        g = grid5(3, 3)
+        perm = np.array([4, 0, 8, 2, 6, 1, 3, 5, 7])
+        f = symbolic_cholesky(g, perm)
+        expected = brute_force_fill(g.permute(perm).to_dense_bool())
+        assert np.array_equal(f.pattern.to_dense_bool(), expected)
+
+    def test_contains_original(self):
+        g = grid5(4, 5)
+        f = symbolic_cholesky(g)
+        assert f.pattern.contains(g.lower())
+
+    def test_matches_numeric_fill(self):
+        """The symbolic structure must cover every numeric nonzero of L."""
+        g = grid5(4, 4)
+        a = spd_from_graph(g, seed=1).to_dense()
+        L = np.linalg.cholesky(a)
+        numeric_nonzero = np.abs(L) > 1e-14
+        symbolic = symbolic_cholesky(g).pattern.to_dense_bool()
+        assert (symbolic | ~numeric_nonzero).all()
+
+    def test_column_counts(self):
+        g = path_graph(4)
+        f = symbolic_cholesky(g)
+        assert f.column_counts().tolist() == [2, 2, 2, 1]
+
+    @given(st.integers(2, 18), st.integers(0, 25), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force_random(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed)
+        f = symbolic_cholesky(g)
+        expected = brute_force_fill(g.to_dense_bool())
+        assert np.array_equal(f.pattern.to_dense_bool(), expected)
+
+    @given(st.integers(2, 15), st.integers(0, 15), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_fill_closure_property(self, n, extra, seed):
+        """struct(col k) rows > k must be a subset of struct(col parent(k))."""
+        g = random_connected_graph(n, extra, seed)
+        f = symbolic_cholesky(g)
+        for k in range(n):
+            p = int(f.parent[k])
+            if p < 0:
+                continue
+            rows_k = set(f.pattern.col(k)[1:].tolist()) - {p}
+            rows_p = set(f.pattern.col(p).tolist())
+            assert rows_k <= rows_p
+
+
+class TestFillIn:
+    def test_zero_for_tree(self):
+        assert fill_in(path_graph(8)) == 0
+
+    def test_cycle_fill(self):
+        from repro.sparse.pattern import SymmetricGraph
+
+        # A 4-cycle ordered naturally fills one entry.
+        g = SymmetricGraph.from_edges(4, [0, 1, 2, 0], [1, 2, 3, 3])
+        assert fill_in(g) == 1
+
+    def test_nonnegative(self):
+        g = grid5(5, 5)
+        assert fill_in(g) >= 0

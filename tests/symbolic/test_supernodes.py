@@ -1,0 +1,56 @@
+"""Fundamental supernodes."""
+
+import numpy as np
+
+from repro.sparse import grid5, path_graph
+from repro.sparse.pattern import LowerPattern
+from repro.symbolic import (
+    fundamental_supernodes,
+    supernode_of_column,
+    symbolic_cholesky,
+)
+
+
+class TestSupernodes:
+    def test_dense_is_one_supernode(self):
+        p = LowerPattern.dense(5)
+        assert fundamental_supernodes(p) == [(0, 4)]
+
+    def test_diagonal_is_all_singletons(self):
+        p = LowerPattern.from_entries(4, [], [])
+        assert fundamental_supernodes(p) == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_partition_covers_all_columns(self):
+        f = symbolic_cholesky(grid5(6, 6))
+        sns = fundamental_supernodes(f.pattern)
+        cols = [c for s, e in sns for c in range(s, e + 1)]
+        assert cols == list(range(f.n))
+
+    def test_supernode_struct_property(self):
+        """Within a supernode, col c = {c} + col c+1 structurally."""
+        f = symbolic_cholesky(grid5(5, 5))
+        for s, e in fundamental_supernodes(f.pattern):
+            for c in range(s, e):
+                cur = f.pattern.col(c)
+                nxt = f.pattern.col(c + 1)
+                assert np.array_equal(cur[1:], nxt)
+
+    def test_supernode_of_column(self):
+        f = symbolic_cholesky(path_graph(5))
+        sid = supernode_of_column(f.pattern)
+        assert len(sid) == 5
+        assert (np.diff(sid) >= 0).all()
+
+    def test_trailing_dense_block_merges(self):
+        """The last columns of a factor always form one supernode if the
+        trailing block is dense."""
+        f = symbolic_cholesky(grid5(6, 6))
+        sns = fundamental_supernodes(f.pattern)
+        s, e = sns[-1]
+        assert e == f.n - 1
+        # Trailing supernode of a 2-D grid factor is wider than one column.
+        assert e - s >= 1
+
+    def test_empty_pattern(self):
+        p = LowerPattern.from_entries(0, [], [])
+        assert fundamental_supernodes(p) == []

@@ -1,0 +1,90 @@
+"""Element-level update enumeration (Figure 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import grid5
+from repro.sparse.pattern import LowerPattern
+from repro.symbolic import enumerate_updates, symbolic_cholesky
+
+from ..conftest import brute_force_updates, random_connected_graph
+
+
+def _as_triples(pattern, ups):
+    cols = pattern.element_cols()
+    out = set()
+    for t, si, sj, k in zip(
+        ups.target.tolist(), ups.source_i.tolist(), ups.source_j.tolist(),
+        ups.source_col.tolist(),
+    ):
+        i = int(pattern.rowidx[si])
+        j = int(pattern.rowidx[sj])
+        assert int(cols[si]) == k and int(cols[sj]) == k
+        assert int(pattern.rowidx[t]) == i and int(cols[t]) == j
+        out.add((i, j, k))
+    return out
+
+
+class TestEnumerateUpdates:
+    def test_dense_3x3(self):
+        p = LowerPattern.dense(3)
+        ups = enumerate_updates(p)
+        triples = _as_triples(p, ups)
+        # Column 0 off-diags {1,2}: pairs (1,1),(2,1),(2,2); column 1
+        # off-diag {2}: (2,2).
+        assert triples == {(1, 1, 0), (2, 1, 0), (2, 2, 0), (2, 2, 1)}
+
+    def test_diagonal_matrix_no_updates(self):
+        p = LowerPattern.from_entries(4, [], [])
+        assert enumerate_updates(p).num_pair_updates == 0
+
+    def test_matches_brute_force_grid(self):
+        f = symbolic_cholesky(grid5(4, 4))
+        ups = enumerate_updates(f.pattern)
+        assert _as_triples(f.pattern, ups) == brute_force_updates(f.pattern)
+
+    def test_non_closed_pattern_rejected(self):
+        # (1,0) and (2,0) nonzero but (2,1) missing -> not fill-closed.
+        p = LowerPattern.from_entries(3, [1, 2], [0, 0])
+        with pytest.raises(ValueError, match="not closed"):
+            enumerate_updates(p)
+
+    def test_scale_sources_are_diagonals(self):
+        f = symbolic_cholesky(grid5(3, 3))
+        ups = enumerate_updates(f.pattern)
+        cols = f.pattern.element_cols()
+        scale = ups.scale_source
+        for e in range(f.pattern.nnz):
+            d = int(scale[e])
+            assert int(f.pattern.rowidx[d]) == int(cols[e])  # diagonal row
+            assert int(cols[d]) == int(cols[e])
+
+    def test_update_counts_total(self):
+        f = symbolic_cholesky(grid5(4, 3))
+        ups = enumerate_updates(f.pattern)
+        assert int(ups.update_counts.sum()) == ups.num_pair_updates
+
+    def test_element_work_formula(self):
+        f = symbolic_cholesky(grid5(4, 3))
+        ups = enumerate_updates(f.pattern)
+        ew = ups.element_work()
+        assert int(ew.sum()) == ups.total_work()
+        assert (ew >= 1).all()  # every element is scaled at least once
+
+    def test_column_pair_count_formula(self):
+        """Column k contributes m_k(m_k+1)/2 pair updates."""
+        f = symbolic_cholesky(grid5(4, 4))
+        ups = enumerate_updates(f.pattern)
+        m = np.diff(f.pattern.indptr) - 1
+        expected = int((m * (m + 1) // 2).sum())
+        assert ups.num_pair_updates == expected
+
+    @given(st.integers(2, 14), st.integers(0, 18), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_brute_force_random(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed)
+        f = symbolic_cholesky(g)
+        ups = enumerate_updates(f.pattern)
+        assert _as_triples(f.pattern, ups) == brute_force_updates(f.pattern)

@@ -1,0 +1,47 @@
+"""The searchsorted fallback of the update enumeration must agree with
+the dense-lookup path exactly."""
+
+import numpy as np
+import pytest
+
+import repro.symbolic.updates as upd
+from repro.sparse import grid5
+from repro.symbolic import symbolic_cholesky
+
+from ..conftest import random_connected_graph
+
+
+def _with_limit(limit, pattern):
+    old = upd._DENSE_LOOKUP_LIMIT
+    upd._DENSE_LOOKUP_LIMIT = limit
+    try:
+        return upd.enumerate_updates(pattern)
+    finally:
+        upd._DENSE_LOOKUP_LIMIT = old
+
+
+class TestLookupPaths:
+    @pytest.mark.parametrize("builder", [
+        lambda: symbolic_cholesky(grid5(6, 6)).pattern,
+        lambda: symbolic_cholesky(random_connected_graph(40, 60, 3)).pattern,
+        lambda: symbolic_cholesky(random_connected_graph(25, 5, 9)).pattern,
+    ])
+    def test_paths_identical(self, builder):
+        pattern = builder()
+        dense = _with_limit(10**9, pattern)
+        sparse = _with_limit(0, pattern)
+        assert np.array_equal(dense.target, sparse.target)
+        assert np.array_equal(dense.source_i, sparse.source_i)
+        assert np.array_equal(dense.source_j, sparse.source_j)
+        assert np.array_equal(dense.source_col, sparse.source_col)
+
+    def test_sparse_path_work_total(self, prepared_grid):
+        sparse = _with_limit(0, prepared_grid.pattern)
+        assert sparse.total_work() == prepared_grid.total_work
+
+    def test_sparse_path_detects_unclosed_pattern(self):
+        from repro.sparse.pattern import LowerPattern
+
+        p = LowerPattern.from_entries(3, [1, 2], [0, 0])
+        with pytest.raises(ValueError, match="not closed"):
+            _with_limit(0, p)
