@@ -1,12 +1,23 @@
-"""Shared benchmark fixtures: prepared matrices and a results sink."""
+"""Shared benchmark fixtures: prepared matrices, a results sink, and a
+per-benchmark stage-timing recorder (repro.obs).
+
+Every benchmark runs under a fresh :class:`repro.obs.Recorder`; if the
+test touched any instrumented stage, its timing/counter summary lands in
+``benchmarks/results/stage_timings/<test>.txt`` next to the rendered
+tables.  Set ``REPRO_TRACE=0`` to opt out (e.g. when measuring the
+disabled-mode overhead of the tracing layer itself).
+"""
 
 from __future__ import annotations
 
+import os
+import re
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+STAGE_TIMINGS_DIR = RESULTS_DIR / "stage_timings"
 
 
 @pytest.fixture(scope="session")
@@ -24,6 +35,24 @@ def write_result(results_dir):
         print(f"\n{content}\n")
 
     return _write
+
+
+@pytest.fixture(autouse=True)
+def record_stage_timings(request):
+    """Trace each benchmark and write its per-stage summary to
+    benchmarks/results/stage_timings/."""
+    if os.environ.get("REPRO_TRACE", "1") == "0":
+        yield
+        return
+    from repro import obs
+
+    with obs.enabled(obs.Recorder()) as rec:
+        yield
+    if rec.is_empty():
+        return
+    STAGE_TIMINGS_DIR.mkdir(parents=True, exist_ok=True)
+    name = re.sub(r"[^A-Za-z0-9._-]+", "-", request.node.name).strip("-")
+    (STAGE_TIMINGS_DIR / f"{name}.txt").write_text(obs.summary_table(rec) + "\n")
 
 
 @pytest.fixture(scope="session")

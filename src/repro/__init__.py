@@ -11,9 +11,11 @@ Top-level convenience re-exports; see the subpackages for the full API:
 * :mod:`repro.core`     — the block partitioner, scheduler, wrap baseline
 * :mod:`repro.machine`  — work / traffic / load-balance accounting
 * :mod:`repro.mpsim`    — simulated message-passing runtime
+* :mod:`repro.obs`      — tracing/metrics layer (spans, counters, exports)
 * :mod:`repro.analysis` — experiment harness regenerating the paper's tables
 """
 
+from . import obs
 from .core import (
     MappingResult,
     PreparedMatrix,
@@ -33,5 +35,6 @@ __all__ = [
     "wrap_mapping",
     "PAPER_MATRICES",
     "load",
+    "obs",
     "__version__",
 ]

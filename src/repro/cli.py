@@ -7,6 +7,8 @@ Examples
     python -m repro table2          # block-mapping communication
     python -m repro figure2 --nx 6 --ny 6
     python -m repro all             # every table and figure
+    python -m repro trace table2 --trace-out run.json   # traced run
+    python -m repro -v table3       # any target with stage timings
 """
 
 from __future__ import annotations
@@ -112,30 +114,130 @@ def _emit(target: str, args: argparse.Namespace) -> str:
                 fh.write(report)
             return f"report written to {args.output}"
         return report
-    raise ValueError(f"unknown target {target!r}")
+    raise ValueError(
+        f"unknown target {target!r}; expected one of: "
+        + ", ".join(_TARGETS + _EXTRA_TARGETS + ["all"])
+    )
+
+
+def _simulate_for_trace(args: argparse.Namespace) -> None:
+    """Run the schedule simulator under tracing so the trace carries a
+    per-unit Gantt timeline (one Perfetto lane per processor)."""
+    from .analysis.experiments import prepared_matrix
+    from .core import block_mapping
+    from .machine.simulate import simulate_schedule
+    from .obs import trace as obs
+
+    with obs.span("cli.simulate", matrix=args.matrix, nprocs=args.nprocs,
+                  grain=args.grain):
+        result = block_mapping(prepared_matrix(args.matrix), args.nprocs,
+                               grain=args.grain)
+        simulate_schedule(result.assignment, result.dependencies,
+                          result.prepared.updates)
+
+
+def _run_traced(target: str, args: argparse.Namespace) -> tuple[str, str]:
+    """Emit ``target`` under a fresh recorder; returns (output, summary)."""
+    from . import obs
+
+    with obs.enabled(obs.Recorder()) as rec:
+        with obs.span("cli.target", target=target):
+            text = _emit(target, args)
+        _simulate_for_trace(args)
+    if args.trace_out:
+        obs.write_chrome_trace(rec, args.trace_out)
+    if args.trace_jsonl:
+        obs.write_jsonl(rec, args.trace_jsonl)
+    return text, obs.summary_table(rec)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables/figures of Venugopal & Naik (SC 1991).",
+        epilog=(
+            "targets: " + ", ".join(_TARGETS)
+            + "; extra targets: " + ", ".join(_EXTRA_TARGETS)
+            + "; 'all' runs every table and figure; 'trace TARGET' runs any "
+            "of them under the repro.obs tracing layer (see --trace-out)."
+        ),
     )
-    parser.add_argument("target", choices=_TARGETS + _EXTRA_TARGETS + ["all"],
-                        help="which table/figure to regenerate")
+    parser.add_argument(
+        "target",
+        metavar="target",
+        choices=_TARGETS + _EXTRA_TARGETS + ["all", "trace"],
+        help="which table/figure to regenerate (or 'trace' / 'all')",
+    )
+    parser.add_argument(
+        "subtarget",
+        nargs="?",
+        default=None,
+        metavar="traced-target",
+        help="with 'trace': the target to run under tracing",
+    )
     parser.add_argument("--nx", type=int, default=5, help="figure2 grid width")
     parser.add_argument("--ny", type=int, default=5, help="figure2 grid height")
     parser.add_argument("--matrix", default="LAP30",
-                        help="matrix for figure4/stats")
+                        help="matrix for figure4/stats and traced simulation")
     parser.add_argument("--grain", type=int, default=25,
-                        help="grain size for figure4/stats")
+                        help="grain size for figure4/stats/trace")
+    parser.add_argument("--nprocs", type=int, default=16,
+                        help="processor count for the traced simulation")
     parser.add_argument("--output", default=None,
                         help="write the report target to a file")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="with 'trace': write Chrome-trace JSON here "
+                             "(load in chrome://tracing or Perfetto)")
+    parser.add_argument("--trace-jsonl", default=None, metavar="FILE",
+                        help="with 'trace': write the raw event stream as JSONL")
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument("-v", "--verbose", action="store_true",
+                           help="trace the run and print stage timings to stderr")
+    verbosity.add_argument("-q", "--quiet", action="store_true",
+                           help="suppress normal output (errors still print)")
     args = parser.parse_args(argv)
 
-    targets = _TARGETS if args.target == "all" else [args.target]
-    chunks = [_emit(t, args) for t in targets]
-    print("\n\n".join(chunks))
-    return 0
+    try:
+        if args.target == "trace":
+            if args.subtarget is None:
+                print("error: 'trace' needs a target to trace, e.g. "
+                      "`python -m repro trace table2`", file=sys.stderr)
+                return 2
+            text, summary = _run_traced(args.subtarget, args)
+            if not args.quiet:
+                print(text)
+                print()
+                print(summary)
+                if args.trace_out:
+                    print(f"\nChrome trace written to {args.trace_out} "
+                          "(open in chrome://tracing or https://ui.perfetto.dev)")
+                if args.trace_jsonl:
+                    print(f"JSONL event stream written to {args.trace_jsonl}")
+            return 0
+
+        if args.subtarget is not None:
+            print(f"error: unexpected argument {args.subtarget!r} "
+                  f"(only 'trace' takes a second target)", file=sys.stderr)
+            return 2
+
+        targets = _TARGETS if args.target == "all" else [args.target]
+        if args.verbose:
+            from . import obs
+
+            with obs.enabled(obs.Recorder()) as rec:
+                chunks = [_emit(t, args) for t in targets]
+            print(obs.summary_table(rec), file=sys.stderr)
+        else:
+            chunks = [_emit(t, args) for t in targets]
+        if not args.quiet:
+            print("\n\n".join(chunks))
+        return 0
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -37,6 +37,7 @@ from functools import cached_property
 
 import numpy as np
 
+from ..obs import trace as obs
 from ..symbolic.updates import UpdateSet
 from .blocks import BlockKind
 from .interval_tree import Interval, IntervalTree
@@ -170,6 +171,10 @@ def analyze_dependencies(
     cats = classify_pair_updates(partition, updates)
     vals, counts = np.unique(cats, return_counts=True)
     category_counts = dict(zip(vals.tolist(), counts.tolist()))
+    if obs.is_enabled():
+        obs.counter("deps.edges", len(edges))
+        for cat, count in category_counts.items():
+            obs.counter(f"deps.category.{cat:02d}", count)
     return DependencyInfo(partition, edges, category_counts, include_scale)
 
 

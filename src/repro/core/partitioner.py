@@ -20,6 +20,7 @@ from functools import cached_property
 
 import numpy as np
 
+from ..obs import trace as obs
 from ..sparse.pattern import LowerPattern
 from .blocks import BlockKind, DenseBlock, UnitBlock
 from .clusters import ClusterSet, find_clusters
@@ -279,6 +280,20 @@ def partition_clusters(
     unit_of_element = np.full(pattern.nnz, -1, dtype=np.int64)
     for u in units:
         unit_of_element[u.elements] = u.uid
+    if obs.is_enabled():
+        obs.counter("partition.clusters", len(clusters))
+        obs.counter("partition.units", len(units))
+        for kind in BlockKind:
+            obs.counter(
+                f"partition.units.{kind.value}",
+                sum(1 for u in units if u.kind is kind),
+            )
+        # Columns own exactly their nonzeros; only triangle/rectangle
+        # units treat their geometric region as dense (paper §3.1).
+        obs.counter(
+            "partition.padded_zeros",
+            sum(u.area - u.nnz for u in units if u.kind is not BlockKind.COLUMN),
+        )
     return Partition(
         pattern=pattern,
         clusters=clusters,

@@ -14,6 +14,7 @@ from functools import cached_property
 import numpy as np
 
 from ..machine.metrics import LoadBalance, load_balance
+from ..obs import trace as obs
 from ..machine.traffic import TrafficResult, data_traffic
 from ..machine.work import processor_work, unit_work
 from ..ordering import order as order_graph
@@ -52,7 +53,11 @@ class PreparedMatrix:
 
     @cached_property
     def updates(self) -> UpdateSet:
-        return enumerate_updates(self.pattern)
+        with obs.span("pipeline.enumerate_updates", matrix=self.name):
+            out = enumerate_updates(self.pattern)
+        obs.counter("pipeline.stage.enumerate_updates")
+        obs.counter("pipeline.pair_updates", len(out.target))
+        return out
 
     @property
     def factor_nnz(self) -> int:
@@ -65,9 +70,15 @@ class PreparedMatrix:
 
 def prepare(graph: SymmetricGraph, ordering: str = "mmd", name: str = "") -> PreparedMatrix:
     """Order and symbolically factor a structure."""
-    perm = order_graph(graph, ordering)
-    symbolic = symbolic_cholesky(graph, perm)
-    return PreparedMatrix(name=name or "matrix", graph=graph, perm=np.asarray(perm), symbolic=symbolic)
+    label = name or "matrix"
+    with obs.span("pipeline.prepare", matrix=label, ordering=ordering):
+        with obs.span("pipeline.order", matrix=label, ordering=ordering):
+            perm = order_graph(graph, ordering)
+        obs.counter("pipeline.stage.order")
+        with obs.span("pipeline.symbolic", matrix=label):
+            symbolic = symbolic_cholesky(graph, perm)
+        obs.counter("pipeline.stage.symbolic")
+    return PreparedMatrix(name=label, graph=graph, perm=np.asarray(perm), symbolic=symbolic)
 
 
 @dataclass
@@ -114,19 +125,28 @@ def block_mapping(
     include_scale_traffic: bool = True,
 ) -> MappingResult:
     """Run the paper's block-based partitioner + scheduler and measure it."""
-    partition = partition_factor(
-        prepared.pattern,
-        grain=grain,
-        min_width=min_width,
-        zero_tolerance=zero_tolerance,
-        grain_rectangle=grain_rectangle,
-    )
-    updates = prepared.updates
-    deps = analyze_dependencies(partition, updates)
-    uw = unit_work(partition, updates)
-    assignment = schedule_blocks(partition, deps, nprocs, unit_work=uw, options=options)
-    traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
-    balance = load_balance(processor_work(assignment, updates))
+    with obs.span("pipeline.block_mapping", matrix=prepared.name, nprocs=nprocs, grain=grain):
+        with obs.span("pipeline.partition", matrix=prepared.name, grain=grain):
+            partition = partition_factor(
+                prepared.pattern,
+                grain=grain,
+                min_width=min_width,
+                zero_tolerance=zero_tolerance,
+                grain_rectangle=grain_rectangle,
+            )
+        obs.counter("pipeline.stage.partition")
+        updates = prepared.updates
+        with obs.span("pipeline.dependencies", matrix=prepared.name):
+            deps = analyze_dependencies(partition, updates)
+        obs.counter("pipeline.stage.dependencies")
+        with obs.span("pipeline.schedule", matrix=prepared.name, nprocs=nprocs):
+            uw = unit_work(partition, updates)
+            assignment = schedule_blocks(partition, deps, nprocs, unit_work=uw, options=options)
+        obs.counter("pipeline.stage.schedule")
+        with obs.span("pipeline.metrics", matrix=prepared.name):
+            traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
+            balance = load_balance(processor_work(assignment, updates))
+        obs.counter("pipeline.stage.metrics")
     return MappingResult(prepared, assignment, traffic, balance, partition, deps)
 
 
@@ -144,19 +164,27 @@ def adaptive_block_mapping(
     counts."""
     from .adaptive import adaptive_schedule
 
-    updates = prepared.updates
-    partition, assignment = adaptive_schedule(
-        prepared.pattern,
-        updates,
-        nprocs,
-        grain=grain,
-        min_width=min_width,
-        zero_tolerance=zero_tolerance,
-        options=options,
-    )
-    deps = analyze_dependencies(partition, updates)
-    traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
-    balance = load_balance(processor_work(assignment, updates))
+    with obs.span("pipeline.adaptive_block_mapping", matrix=prepared.name, nprocs=nprocs, grain=grain):
+        updates = prepared.updates
+        with obs.span("pipeline.adaptive_schedule", matrix=prepared.name, nprocs=nprocs):
+            partition, assignment = adaptive_schedule(
+                prepared.pattern,
+                updates,
+                nprocs,
+                grain=grain,
+                min_width=min_width,
+                zero_tolerance=zero_tolerance,
+                options=options,
+            )
+        obs.counter("pipeline.stage.partition")
+        obs.counter("pipeline.stage.schedule")
+        with obs.span("pipeline.dependencies", matrix=prepared.name):
+            deps = analyze_dependencies(partition, updates)
+        obs.counter("pipeline.stage.dependencies")
+        with obs.span("pipeline.metrics", matrix=prepared.name):
+            traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
+            balance = load_balance(processor_work(assignment, updates))
+        obs.counter("pipeline.stage.metrics")
     return MappingResult(prepared, assignment, traffic, balance, partition, deps)
 
 
@@ -166,8 +194,12 @@ def wrap_mapping(
     include_scale_traffic: bool = True,
 ) -> MappingResult:
     """Run the wrap-mapped column baseline and measure it."""
-    assignment = wrap_assignment(prepared.pattern, nprocs)
-    updates = prepared.updates
-    traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
-    balance = load_balance(processor_work(assignment, updates))
+    with obs.span("pipeline.wrap_mapping", matrix=prepared.name, nprocs=nprocs):
+        assignment = wrap_assignment(prepared.pattern, nprocs)
+        obs.counter("pipeline.stage.schedule")
+        updates = prepared.updates
+        with obs.span("pipeline.metrics", matrix=prepared.name):
+            traffic = data_traffic(assignment, updates, include_scale=include_scale_traffic)
+            balance = load_balance(processor_work(assignment, updates))
+        obs.counter("pipeline.stage.metrics")
     return MappingResult(prepared, assignment, traffic, balance)

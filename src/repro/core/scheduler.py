@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as obs
 from .assignment import Assignment
 from .blocks import BlockKind
 from .dependencies import DependencyInfo
@@ -103,6 +104,7 @@ def schedule_blocks(
             assign(u.uid, wrap_counter % nprocs)
             wrap_counter += 1
             independent_column_uids.add(u.uid)
+    obs.counter("scheduler.independent_columns", wrap_counter)
 
     # --- steps 2-4: scan remaining clusters left to right -------------
     for cluster in partition.clusters:
@@ -115,13 +117,17 @@ def schedule_blocks(
             pred_procs = [p for p in pred_procs if p >= 0]
             if not pred_procs:
                 assign(u.uid, take_marker())
+                obs.counter("scheduler.dependent_column.round_robin")
             elif options.dependent_column_policy == "first":
                 assign(u.uid, pred_procs[0])
+                obs.counter("scheduler.dependent_column.predecessor")
             elif options.dependent_column_policy == "least_loaded":
                 best = min(set(pred_procs), key=lambda p: (proc_work[p], p))
                 assign(u.uid, best)
+                obs.counter("scheduler.dependent_column.predecessor")
             else:  # round_robin
                 assign(u.uid, take_marker())
+                obs.counter("scheduler.dependent_column.round_robin")
             continue
 
         # Multi-column cluster: triangle units first, in order.
@@ -137,6 +143,9 @@ def schedule_blocks(
                     break
             if chosen < 0:
                 chosen = take_marker()
+                obs.counter("scheduler.triangle.round_robin_fallback")
+            else:
+                obs.counter("scheduler.triangle.pa_hit")
             p_a.add(chosen)
             assign(u.uid, chosen)
 
@@ -150,9 +159,14 @@ def schedule_blocks(
             ordered_procs = sorted(p_t, key=lambda p: (proc_work[p], p))
             for slot, u in enumerate(sorted(by_rect[rect_index], key=lambda x: x.order_key)):
                 assign(u.uid, ordered_procs[slot % len(ordered_procs)])
+        obs.counter("scheduler.rectangle.pt_assigned", len(rect_units))
 
     if (proc_of_unit < 0).any():  # pragma: no cover - internal invariant
         raise AssertionError("scheduler left a unit unassigned")
+
+    if obs.is_enabled():
+        obs.counter("scheduler.units_assigned", n_units)
+        obs.gauge("scheduler.proc_work", proc_work.tolist())
 
     owner = proc_of_unit[partition.unit_of_element]
     return Assignment(

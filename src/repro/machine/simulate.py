@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.assignment import Assignment
 from ..core.dependencies import DependencyInfo
+from ..obs import trace as obs
 from ..symbolic.updates import UpdateSet
 
 __all__ = ["MachineModel", "ScheduleTimeline", "simulate_schedule", "edge_volumes", "topological_order"]
@@ -205,4 +206,23 @@ def simulate_schedule(
     if done != n_units:
         raise ValueError("unit dependency graph has a cycle")
     makespan = float(finish.max()) if n_units else 0.0
-    return ScheduleTimeline(start, finish, proc_busy, makespan)
+    timeline = ScheduleTimeline(start, finish, proc_busy, makespan)
+    if obs.is_enabled():
+        units = partition.units
+        for u in range(n_units):
+            obs.timeline_event(
+                f"unit {u} ({units[u].kind.value})",
+                ts=float(start[u]),
+                dur=float(finish[u] - start[u]),
+                lane=int(proc_of_unit[u]),
+                track="simulate_schedule",
+                uid=u,
+                cluster=int(units[u].cluster),
+                work=float(work[u]),
+            )
+        obs.counter("sim.units", n_units)
+        obs.counter("sim.events", n_units)
+        obs.gauge("sim.makespan", makespan)
+        obs.gauge("sim.idle_fraction", timeline.idle_fraction)
+        obs.gauge("sim.proc_busy", proc_busy.tolist())
+    return timeline

@@ -14,6 +14,8 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs import trace as obs
+
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
@@ -45,10 +47,14 @@ class CommStats:
         with self.lock:
             self.messages_sent += 1
             self.bytes_sent += nbytes
+        if obs.is_enabled():
+            obs.counter("mpsim.messages_sent")
+            obs.counter("mpsim.bytes_sent", nbytes)
 
     def record_recv(self) -> None:
         with self.lock:
             self.messages_received += 1
+        obs.counter("mpsim.messages_received")
 
 
 class Request:
@@ -187,6 +193,7 @@ class Comm:
         if drop is not None and drop(self.rank, dest, tag):
             with self._world._drop_lock:
                 self._world.messages_dropped += 1
+            obs.counter("mpsim.messages_dropped")
             return
         self._world.mailboxes[dest].put(self.rank, tag, payload)
 

@@ -1,0 +1,54 @@
+"""repro.obs — pipeline-wide tracing and metrics.
+
+:mod:`repro.obs.trace` is the zero-dependency recording core (spans,
+counters, gauges, simulated timelines) that the rest of the stack calls
+into; it is a cheap no-op until enabled.  :mod:`repro.obs.export` turns
+a recorded run into JSONL, Chrome-trace JSON (``chrome://tracing`` /
+Perfetto) or an ASCII summary.  See ``docs/observability.md``.
+"""
+
+from .export import (
+    chrome_trace_json,
+    summary_table,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .trace import (
+    Recorder,
+    SpanRecord,
+    TimelineEvent,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    get_recorder,
+    is_enabled,
+    set_recorder,
+    span,
+    timeline_event,
+)
+
+__all__ = [
+    "Recorder",
+    "SpanRecord",
+    "TimelineEvent",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_recorder",
+    "is_enabled",
+    "set_recorder",
+    "span",
+    "timeline_event",
+    "chrome_trace_json",
+    "summary_table",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

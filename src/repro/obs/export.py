@@ -1,0 +1,198 @@
+"""Exporters for :class:`repro.obs.trace.Recorder` runs.
+
+Three output shapes:
+
+* :func:`to_jsonl` — one JSON object per line (spans, timeline events,
+  counters, gauges), the archival/greppable form;
+* :func:`to_chrome_trace` / :func:`chrome_trace_json` — the Chrome
+  Trace Event Format (the ``traceEvents`` JSON object array), loadable
+  in ``chrome://tracing`` or https://ui.perfetto.dev.  Wall-clock spans
+  appear as one process ("repro pipeline", a thread per python thread);
+  simulated-machine timeline events appear as a second process with one
+  lane per processor, so a :func:`repro.machine.simulate.simulate_schedule`
+  run renders as a Gantt chart;
+* :func:`summary_table` — the ASCII per-stage timing/counter summary
+  printed by ``python -m repro trace <target>``.
+
+Only the standard library is used.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from .trace import Recorder
+
+__all__ = [
+    "to_jsonl",
+    "write_jsonl",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "summary_table",
+]
+
+# Wall-clock spans and simulated events are separate Chrome-trace
+# processes so their clocks (seconds vs abstract units) never mix.
+_PID_PIPELINE = 1
+_PID_SIM = 2
+
+
+def _jsonable(value):
+    """Best-effort conversion of span/event args to JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    tolist = getattr(value, "tolist", None)  # numpy scalars/arrays
+    if callable(tolist):
+        return _jsonable(tolist())
+    return str(value)
+
+
+def to_jsonl(recorder: Recorder) -> str:
+    """Serialize a run as JSON Lines (one record per line)."""
+    lines = []
+    for s in recorder.spans:
+        lines.append(json.dumps({
+            "type": "span", "name": s.name, "start": s.start, "end": s.end,
+            "depth": s.depth, "thread": s.thread, "error": s.error,
+            "args": _jsonable(s.args),
+        }, sort_keys=True))
+    for e in recorder.timeline:
+        lines.append(json.dumps({
+            "type": "timeline", "name": e.name, "ts": e.ts, "dur": e.dur,
+            "lane": e.lane, "track": e.track, "args": _jsonable(e.args),
+        }, sort_keys=True))
+    for name, value in sorted(recorder.counters.items()):
+        lines.append(json.dumps({"type": "counter", "name": name, "value": value}))
+    for name, value in sorted(recorder.gauges.items()):
+        lines.append(json.dumps(
+            {"type": "gauge", "name": name, "value": _jsonable(value)}, sort_keys=True
+        ))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(recorder: Recorder, path_or_file) -> None:
+    _write(path_or_file, to_jsonl(recorder))
+
+
+def to_chrome_trace(recorder: Recorder) -> dict:
+    """Build the Chrome Trace Event Format object for a run.
+
+    Wall-clock span times are exported in microseconds (the format's
+    unit); simulated timeline events use one abstract time unit = 1 µs,
+    which Perfetto displays with correct relative proportions.
+    """
+    events: list[dict] = [
+        {"ph": "M", "pid": _PID_PIPELINE, "name": "process_name",
+         "args": {"name": "repro pipeline (wall clock)"}},
+        {"ph": "M", "pid": _PID_SIM, "name": "process_name",
+         "args": {"name": "simulated machine (abstract time)"}},
+    ]
+    threads = sorted({s.thread for s in recorder.spans})
+    tid_of = {t: i for i, t in enumerate(threads)}
+    for t, tid in tid_of.items():
+        events.append({"ph": "M", "pid": _PID_PIPELINE, "tid": tid,
+                       "name": "thread_name", "args": {"name": f"thread {t}"}})
+    for s in recorder.spans:
+        args = dict(_jsonable(s.args))
+        if s.error is not None:
+            args["error"] = s.error
+        events.append({
+            "ph": "X", "pid": _PID_PIPELINE, "tid": tid_of[s.thread],
+            "name": s.name, "cat": "pipeline",
+            "ts": s.start * 1e6, "dur": s.duration * 1e6, "args": args,
+        })
+    lanes = sorted({e.lane for e in recorder.timeline})
+    for lane in lanes:
+        events.append({"ph": "M", "pid": _PID_SIM, "tid": lane,
+                       "name": "thread_name", "args": {"name": f"proc {lane}"}})
+    for e in recorder.timeline:
+        events.append({
+            "ph": "X", "pid": _PID_SIM, "tid": e.lane,
+            "name": e.name, "cat": e.track,
+            "ts": e.ts, "dur": e.dur, "args": dict(_jsonable(e.args)),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(sorted(recorder.counters.items())),
+            "gauges": {k: _jsonable(v) for k, v in sorted(recorder.gauges.items())},
+        },
+    }
+
+
+def chrome_trace_json(recorder: Recorder) -> str:
+    return json.dumps(to_chrome_trace(recorder), indent=1)
+
+
+def write_chrome_trace(recorder: Recorder, path_or_file) -> None:
+    _write(path_or_file, chrome_trace_json(recorder))
+
+
+def _write(path_or_file, text: str) -> None:
+    if hasattr(path_or_file, "write"):
+        f: TextIO = path_or_file
+        f.write(text)
+        return
+    with open(path_or_file, "w") as f:
+        f.write(text)
+
+
+def summary_table(recorder: Recorder) -> str:
+    """ASCII per-stage summary: span timings, then counters and gauges."""
+    from ..analysis.tables import render_table  # stdlib-only module; lazy
+    # import keeps repro.obs importable without pulling in repro.analysis.
+
+    parts: list[str] = []
+    if recorder.spans:
+        stats: dict[str, list[float]] = {}
+        order: list[str] = []
+        for s in recorder.spans:
+            if s.name not in stats:
+                stats[s.name] = []
+                order.append(s.name)
+            stats[s.name].append(s.duration)
+        rows = []
+        for name in order:
+            durs = stats[name]
+            total = sum(durs)
+            rows.append([
+                name, len(durs), f"{1e3 * total:.2f}",
+                f"{1e3 * total / len(durs):.3f}", f"{1e3 * max(durs):.3f}",
+            ])
+        parts.append(render_table(
+            ["span", "count", "total ms", "mean ms", "max ms"], rows, "Stage timings"
+        ))
+    if recorder.counters:
+        rows = [[name, value] for name, value in sorted(recorder.counters.items())]
+        parts.append(render_table(["counter", "value"], rows, "Counters"))
+    if recorder.gauges:
+        rows = [[name, str(_jsonable(value))] for name, value in sorted(recorder.gauges.items())]
+        parts.append(render_table(["gauge", "value"], rows, "Gauges"))
+    if recorder.timeline:
+        lanes = sorted({e.lane for e in recorder.timeline})
+        t_end = max((e.ts + e.dur) for e in recorder.timeline)
+        busy = {lane: 0.0 for lane in lanes}
+        for e in recorder.timeline:
+            busy[e.lane] += e.dur
+        rows = [
+            [lane,
+             sum(1 for e in recorder.timeline if e.lane == lane),
+             f"{busy[lane]:.0f}",
+             f"{100 * busy[lane] / t_end:.1f}%" if t_end else "-"]
+            for lane in lanes
+        ]
+        parts.append(render_table(
+            ["lane", "events", "busy", "busy %"],
+            rows,
+            f"Simulated timeline ({len(recorder.timeline)} events, span {t_end:.0f} units)",
+        ))
+    if not parts:
+        return "(empty trace)"
+    return "\n\n".join(parts)

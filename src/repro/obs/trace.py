@@ -1,0 +1,275 @@
+"""Zero-dependency structured tracing: spans, counters, gauges, timelines.
+
+The paper's whole contribution is measurement, so the reproduction's own
+pipeline should be measurable too.  This module provides the recording
+core used throughout the stack:
+
+* :func:`span` — a nestable context manager timing one pipeline stage
+  (``with span("partition", matrix="LAP30"): ...``), recorded on exit
+  with wall-clock start/end, nesting depth and arbitrary key/value args;
+* :func:`counter` — a named monotonically accumulated count
+  (``counter("partition.units", 12)``);
+* :func:`gauge` — a named last-value-wins observation;
+* :func:`timeline_event` — an event with *caller-supplied* timestamps on
+  a numbered lane, for simulated clocks (the schedule simulator emits
+  one per unit block, so a run renders as a Gantt chart in Perfetto).
+
+Everything lands in a :class:`Recorder`.  Tracing is **off by default**
+and every entry point first checks a module-level flag, so the disabled
+cost at an instrumented call site is one function call and one branch —
+the overhead target is <5% on the scaling benchmark.  Enable globally
+with :func:`enable`/:func:`disable`, or scoped with::
+
+    with enabled() as rec:
+        run_pipeline()
+    print(rec.counters)
+
+Only the standard library is used; exporters live in
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "TimelineEvent",
+    "Recorder",
+    "enable",
+    "disable",
+    "enabled",
+    "is_enabled",
+    "get_recorder",
+    "set_recorder",
+    "span",
+    "counter",
+    "gauge",
+    "timeline_event",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span: a timed, named, possibly nested interval."""
+
+    name: str
+    start: float  # seconds since the recorder's epoch
+    end: float
+    depth: int  # 0 = top level (per thread)
+    thread: int  # python thread ident
+    args: dict = field(default_factory=dict)
+    error: str | None = None  # exception type name if the body raised
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """An event on a simulated clock: ``lane`` is e.g. a processor id."""
+
+    name: str
+    ts: float  # simulated time, abstract units
+    dur: float
+    lane: int
+    track: str = "sim"
+    args: dict = field(default_factory=dict)
+
+
+class Recorder:
+    """Accumulates spans, counters, gauges and timeline events for one run.
+
+    Appends are guarded by a lock (the mpsim runtime records from many
+    threads); the per-thread span stack lives in thread-local storage so
+    concurrent spans nest independently.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, object] = {}
+        self.timeline: list[TimelineEvent] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- spans ----------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **args) -> "_Span":
+        return _Span(self, name, args)
+
+    @property
+    def active_depth(self) -> int:
+        """Nesting depth of the calling thread's open spans."""
+        return len(self._stack())
+
+    def _record_span(self, rec: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(rec)
+
+    # -- scalars --------------------------------------------------------
+    def add_counter(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    # -- timelines ------------------------------------------------------
+    def add_timeline_event(
+        self, name: str, ts: float, dur: float, lane: int, track: str = "sim", **args
+    ) -> None:
+        with self._lock:
+            self.timeline.append(TimelineEvent(name, float(ts), float(dur), int(lane), track, args))
+
+    # -- queries --------------------------------------------------------
+    def spans_named(self, name: str) -> list[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    def is_empty(self) -> bool:
+        return not (self.spans or self.counters or self.gauges or self.timeline)
+
+
+class _Span:
+    """Context manager recording one span on exit (exceptions included)."""
+
+    __slots__ = ("_rec", "_name", "_args", "_t0", "_depth")
+
+    def __init__(self, rec: Recorder, name: str, args: dict):
+        self._rec = rec
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        stack = self._rec._stack()
+        self._depth = len(stack)
+        stack.append(self._name)
+        self._t0 = time.perf_counter() - self._rec.epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter() - self._rec.epoch
+        self._rec._stack().pop()
+        self._rec._record_span(
+            SpanRecord(
+                name=self._name,
+                start=self._t0,
+                end=t1,
+                depth=self._depth,
+                thread=threading.get_ident(),
+                args=self._args,
+                error=None if exc_type is None else exc_type.__name__,
+            )
+        )
+        return False  # never swallow exceptions
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+_enabled = False
+_recorder = Recorder()
+_state_lock = threading.Lock()
+
+
+def is_enabled() -> bool:
+    """True when instrumented call sites actually record."""
+    return _enabled
+
+
+def get_recorder() -> Recorder:
+    """The currently installed recorder (recording only while enabled)."""
+    return _recorder
+
+
+def set_recorder(recorder: Recorder) -> None:
+    global _recorder
+    with _state_lock:
+        _recorder = recorder
+
+
+def enable(recorder: Recorder | None = None) -> Recorder:
+    """Turn tracing on and return the active recorder.
+
+    ``recorder`` replaces the installed recorder when given; otherwise
+    the existing one keeps accumulating (pass ``Recorder()`` explicitly
+    to start clean).
+    """
+    global _enabled, _recorder
+    with _state_lock:
+        if recorder is not None:
+            _recorder = recorder
+        _enabled = True
+        return _recorder
+
+
+def disable() -> None:
+    global _enabled
+    with _state_lock:
+        _enabled = False
+
+
+@contextmanager
+def enabled(recorder: Recorder | None = None):
+    """Scoped tracing: enable around a block, restore the prior state
+    after, and yield the recorder that captured the block."""
+    global _enabled, _recorder
+    with _state_lock:
+        prev_enabled, prev_recorder = _enabled, _recorder
+        _recorder = recorder if recorder is not None else Recorder()
+        _enabled = True
+        active = _recorder
+    try:
+        yield active
+    finally:
+        with _state_lock:
+            _enabled, _recorder = prev_enabled, prev_recorder
+
+
+def span(name: str, **args):
+    """Time a stage; a shared no-op context manager when disabled."""
+    if not _enabled:
+        return _NOOP
+    return _recorder.span(name, **args)
+
+
+def counter(name: str, value: float = 1) -> None:
+    """Accumulate ``value`` onto the named counter (no-op when disabled)."""
+    if not _enabled:
+        return
+    _recorder.add_counter(name, value)
+
+
+def gauge(name: str, value) -> None:
+    """Record the latest value of a named gauge (no-op when disabled)."""
+    if not _enabled:
+        return
+    _recorder.set_gauge(name, value)
+
+
+def timeline_event(name: str, ts: float, dur: float, lane: int, track: str = "sim", **args) -> None:
+    """Record a simulated-clock event (no-op when disabled)."""
+    if not _enabled:
+        return
+    _recorder.add_timeline_event(name, ts, dur, lane, track, **args)

@@ -1,8 +1,25 @@
 """CLI entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+
+@pytest.fixture
+def fresh_caches():
+    """Clear the experiment harness' per-process lru caches so a traced
+    run exercises every pipeline stage (prepare included)."""
+    from repro.analysis import experiments
+
+    experiments.prepared_matrix.cache_clear()
+    experiments._block_result.cache_clear()
+    experiments._wrap_result.cache_clear()
+    yield
+    experiments.prepared_matrix.cache_clear()
+    experiments._block_result.cache_clear()
+    experiments._wrap_result.cache_clear()
 
 
 class TestCLI:
@@ -27,3 +44,67 @@ class TestCLI:
     def test_figure4_custom_matrix(self, capsys):
         assert main(["figure4", "--matrix", "DWT512", "--grain", "8"]) == 0
         assert "dependency categories" in capsys.readouterr().out
+
+    def test_unknown_subtarget_for_non_trace_rejected(self, capsys):
+        assert main(["figure3", "extra"]) == 2
+        assert "only 'trace'" in capsys.readouterr().err
+
+    def test_quiet_suppresses_output(self, capsys):
+        assert main(["-q", "figure3"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_prints_stage_timings_to_stderr(self, fresh_caches, capsys):
+        assert main(["-v", "stats", "--matrix", "LAP30", "--grain", "25"]) == 0
+        captured = capsys.readouterr()
+        assert "Partition statistics" in captured.out
+        assert "Stage timings" in captured.err
+        assert "Counters" in captured.err
+
+
+class TestTraceTarget:
+    def test_trace_without_subtarget_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "needs a target" in capsys.readouterr().err
+
+    def test_trace_unknown_subtarget_errors(self, capsys):
+        assert main(["trace", "nosuch"]) == 2
+        assert "unknown target 'nosuch'" in capsys.readouterr().err
+
+    def test_trace_writes_chrome_trace_and_summary(self, fresh_caches, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        jsonl = tmp_path / "run.jsonl"
+        assert main([
+            "trace", "stats", "--matrix", "LAP30", "--grain", "25",
+            "--nprocs", "8",
+            "--trace-out", str(out), "--trace-jsonl", str(jsonl),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "Stage timings" in captured
+        assert "Simulated timeline" in captured
+        assert str(out) in captured
+
+        doc = json.loads(out.read_text())
+        spans = {
+            e["name"] for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e.get("pid") == 1
+        }
+        for stage in ("pipeline.order", "pipeline.symbolic",
+                      "pipeline.enumerate_updates", "pipeline.partition",
+                      "pipeline.dependencies", "pipeline.schedule",
+                      "pipeline.metrics", "cli.target", "cli.simulate"):
+            assert stage in spans
+        unit_events = [
+            e for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e.get("pid") == 2
+        ]
+        assert unit_events and all(e["dur"] >= 0 for e in unit_events)
+        assert doc["otherData"]["counters"]["sim.units"] == len(unit_events)
+
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert {"span", "timeline", "counter", "gauge"} <= {r["type"] for r in records}
+
+    def test_trace_leaves_tracing_disabled(self, tmp_path):
+        from repro.obs import trace as obs_trace
+
+        assert main(["trace", "figure3", "--matrix", "LAP30"]) == 0
+        assert not obs_trace.is_enabled()

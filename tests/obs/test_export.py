@@ -1,0 +1,120 @@
+"""Exporters: JSONL, Chrome-trace JSON, ASCII summary."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Recorder,
+    chrome_trace_json,
+    summary_table,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs import trace
+
+
+@pytest.fixture
+def recorded():
+    with trace.enabled() as rec:
+        with trace.span("pipeline.prepare", matrix="LAP30"):
+            with trace.span("pipeline.order"):
+                pass
+        trace.counter("partition.units", 7)
+        trace.gauge("scheduler.proc_work", [1.0, 2.0])
+        trace.timeline_event("unit 0 (column)", ts=0.0, dur=4.0, lane=0, uid=0)
+        trace.timeline_event("unit 1 (triangle)", ts=4.0, dur=2.0, lane=1, uid=1)
+    return rec
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json_loads(self, recorded):
+        doc = json.loads(chrome_trace_json(recorded))
+        assert doc == to_chrome_trace(recorded)
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_spans_become_complete_events(self, recorded):
+        doc = to_chrome_trace(recorded)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X" and e["pid"] == 1]
+        names = {e["name"] for e in xs}
+        assert names == {"pipeline.prepare", "pipeline.order"}
+        for e in xs:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_timeline_events_land_on_processor_lanes(self, recorded):
+        doc = to_chrome_trace(recorded)
+        sims = [e for e in doc["traceEvents"] if e["ph"] == "X" and e["pid"] == 2]
+        assert {(e["tid"], e["ts"], e["dur"]) for e in sims} == {(0, 0.0, 4.0), (1, 4.0, 2.0)}
+        lane_names = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["pid"] == 2 and e["name"] == "thread_name"
+        ]
+        assert {e["args"]["name"] for e in lane_names} == {"proc 0", "proc 1"}
+
+    def test_counters_and_gauges_in_other_data(self, recorded):
+        doc = to_chrome_trace(recorded)
+        assert doc["otherData"]["counters"] == {"partition.units": 7}
+        assert doc["otherData"]["gauges"] == {"scheduler.proc_work": [1.0, 2.0]}
+
+    def test_numpy_args_are_jsonable(self):
+        import numpy as np
+
+        with trace.enabled() as rec:
+            with trace.span("s", count=np.int64(3), arr=np.arange(2)):
+                pass
+        doc = json.loads(chrome_trace_json(rec))
+        (e,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert e["args"] == {"count": 3, "arr": [0, 1]}
+
+    def test_error_spans_carry_the_exception(self):
+        with trace.enabled() as rec:
+            with pytest.raises(ValueError):
+                with trace.span("bad"):
+                    raise ValueError("nope")
+        doc = to_chrome_trace(rec)
+        (e,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert e["args"]["error"] == "ValueError"
+
+    def test_write_to_path(self, recorded, tmp_path):
+        out = tmp_path / "run.json"
+        write_chrome_trace(recorded, out)
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+
+class TestJsonl:
+    def test_every_line_is_json(self, recorded):
+        lines = to_jsonl(recorded).splitlines()
+        records = [json.loads(line) for line in lines]
+        types = {r["type"] for r in records}
+        assert types == {"span", "timeline", "counter", "gauge"}
+        assert len(records) == 2 + 2 + 1 + 1
+
+    def test_write_to_path(self, recorded, tmp_path):
+        out = tmp_path / "run.jsonl"
+        write_jsonl(recorded, out)
+        assert len(out.read_text().splitlines()) == 6
+
+    def test_empty_recorder(self):
+        assert to_jsonl(Recorder()) == ""
+
+
+class TestSummaryTable:
+    def test_sections_present(self, recorded):
+        text = summary_table(recorded)
+        assert "Stage timings" in text
+        assert "pipeline.prepare" in text
+        assert "Counters" in text and "partition.units" in text
+        assert "Gauges" in text and "scheduler.proc_work" in text
+        assert "Simulated timeline" in text
+
+    def test_empty_recorder(self):
+        assert summary_table(Recorder()) == "(empty trace)"
+
+    def test_busy_percentages(self, recorded):
+        text = summary_table(recorded)
+        # lane 0 busy 4 of 6 units = 66.7%, lane 1 busy 2 of 6 = 33.3%
+        assert "66.7%" in text and "33.3%" in text
