@@ -1,0 +1,57 @@
+"""Vectorized vs reference update enumeration on generator matrices.
+
+The band matrix is the largest generator problem in the suite and the
+regime the vectorized kernel targets: many columns of moderate degree,
+where the reference's per-column Python loop dominates.  The HB-scale
+matrices (heavily filled, tens of millions of pairs) are
+memory-bandwidth-bound instead — both kernels converge there — so the
+band problem is what the >= 5x acceptance test (tests/perf/test_speedup)
+measures.
+"""
+
+import pytest
+
+from repro.sparse import band_lower_pattern, grid9
+from repro.symbolic import (
+    enumerate_updates,
+    enumerate_updates_reference,
+    symbolic_cholesky,
+)
+
+#: Largest generator matrix in the benchmarks; the speedup acceptance
+#: test measures exactly this problem (keep the two in sync).
+BAND_N, BAND_W = 4500, 32
+
+
+@pytest.fixture(scope="module")
+def band_pattern():
+    return band_lower_pattern(BAND_N, BAND_W)
+
+
+@pytest.fixture(scope="module")
+def grid_pattern():
+    return symbolic_cholesky(grid9(40, 40)).pattern
+
+
+def test_bench_vectorized_band(benchmark, band_pattern):
+    ups = benchmark(lambda: enumerate_updates(band_pattern))
+    assert ups.num_pair_updates > 1_000_000
+
+
+def test_bench_reference_band(benchmark, band_pattern):
+    ups = benchmark.pedantic(
+        lambda: enumerate_updates_reference(band_pattern), rounds=3, iterations=1
+    )
+    assert ups.num_pair_updates > 1_000_000
+
+
+def test_bench_vectorized_grid(benchmark, grid_pattern):
+    ups = benchmark(lambda: enumerate_updates(grid_pattern))
+    assert ups.num_pair_updates > 0
+
+
+def test_bench_reference_grid(benchmark, grid_pattern):
+    ups = benchmark.pedantic(
+        lambda: enumerate_updates_reference(grid_pattern), rounds=3, iterations=1
+    )
+    assert ups.num_pair_updates > 0

@@ -31,7 +31,15 @@ from .analysis import (
 
 _TARGETS = ["table1", "table2", "table3", "table4", "table5",
             "figure1", "figure2", "figure3", "figure4"]
-_EXTRA_TARGETS = ["stats", "report", "claims", "sweep", "scorecard", "compare"]
+_EXTRA_TARGETS = ["stats", "report", "claims", "sweep", "scorecard", "compare",
+                  "bench"]
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.split(",") if x.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
 
 
 def _emit(target: str, args: argparse.Namespace) -> str:
@@ -73,16 +81,42 @@ def _emit(target: str, args: argparse.Namespace) -> str:
 
         return render_comparison()
     if target == "sweep":
-        from .analysis import records_to_csv, sweep
-        from .analysis.experiments import prepared_matrix
+        import dataclasses
+        import json
 
-        records = sweep(prepared_matrix(args.matrix))
-        text = records_to_csv(records)
+        from .analysis import records_to_csv
+        from .perf import sweep as perf_sweep
+
+        matrices = [m.strip() for m in args.matrix.split(",") if m.strip()]
+        records = perf_sweep(
+            matrices,
+            schemes=tuple(s.strip() for s in args.schemes.split(",") if s.strip()),
+            procs=args.procs,
+            grains=args.grains,
+            min_widths=args.min_widths,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+        if args.json:
+            text = json.dumps([dataclasses.asdict(r) for r in records], indent=2)
+        else:
+            text = records_to_csv(records)
         if args.output:
             with open(args.output, "w") as fh:
-                fh.write(text)
+                fh.write(text if text.endswith("\n") else text + "\n")
             return f"{len(records)} records written to {args.output}"
         return text.rstrip("\n")
+    if target == "bench":
+        from .perf import bench_pipeline, render_bench
+
+        report = bench_pipeline(
+            matrices=args.bench_matrices,
+            nprocs=args.nprocs,
+            grain=args.grain,
+            smoke=args.smoke,
+            out=args.bench_out,
+        )
+        return render_bench(report) + f"\nreport written to {args.bench_out}"
     if target == "scorecard":
         from .analysis import render_table
         from .analysis.experiments import prepared_matrix
@@ -177,14 +211,43 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--nx", type=int, default=5, help="figure2 grid width")
     parser.add_argument("--ny", type=int, default=5, help="figure2 grid height")
-    parser.add_argument("--matrix", default="LAP30",
-                        help="matrix for figure4/stats and traced simulation")
+    parser.add_argument("--matrix", default=None,
+                        help="matrix for figure4/stats/sweep and traced "
+                             "simulation; comma-separated list for "
+                             "sweep/bench (default LAP30; bench defaults "
+                             "to every paper matrix)")
     parser.add_argument("--grain", type=int, default=25,
-                        help="grain size for figure4/stats/trace")
+                        help="grain size for figure4/stats/trace/bench")
     parser.add_argument("--nprocs", type=int, default=16,
-                        help="processor count for the traced simulation")
+                        help="processor count for the traced simulation and bench")
     parser.add_argument("--output", default=None,
                         help="write the report target to a file")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="with 'sweep': worker processes for the grid "
+                             "(1 = serial in-process)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="with 'sweep': prepared-matrix disk cache "
+                             "directory (persists ordering/symbolic stages "
+                             "across runs; parallel runs without it use an "
+                             "ephemeral cache)")
+    parser.add_argument("--schemes", default="block,wrap",
+                        help="with 'sweep': comma-separated mapping schemes "
+                             "(block, block-adaptive, wrap)")
+    parser.add_argument("--procs", type=_int_list, default=(4, 16, 32),
+                        metavar="P1,P2,...",
+                        help="with 'sweep': processor counts of the grid")
+    parser.add_argument("--grains", type=_int_list, default=(4, 25),
+                        metavar="G1,G2,...",
+                        help="with 'sweep': grain sizes of the grid")
+    parser.add_argument("--min-widths", type=_int_list, default=(4,),
+                        metavar="W1,W2,...",
+                        help="with 'sweep': minimum cluster widths of the grid")
+    parser.add_argument("--json", action="store_true",
+                        help="with 'sweep': emit JSON records instead of CSV")
+    parser.add_argument("--smoke", action="store_true",
+                        help="with 'bench': tiny generated matrices (CI mode)")
+    parser.add_argument("--bench-out", default="BENCH_pipeline.json", metavar="FILE",
+                        help="with 'bench': where to write the JSON report")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="with 'trace': write Chrome-trace JSON here "
                              "(load in chrome://tracing or Perfetto)")
@@ -196,6 +259,13 @@ def main(argv: list[str] | None = None) -> int:
     verbosity.add_argument("-q", "--quiet", action="store_true",
                            help="suppress normal output (errors still print)")
     args = parser.parse_args(argv)
+    # 'bench' defaults to every paper matrix; everything else to LAP30.
+    args.bench_matrices = (
+        None if args.matrix is None
+        else [m.strip() for m in args.matrix.split(",") if m.strip()]
+    )
+    if args.matrix is None:
+        args.matrix = "LAP30"
 
     try:
         if args.target == "trace":

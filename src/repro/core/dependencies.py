@@ -117,19 +117,25 @@ class DependencyInfo:
 
     @cached_property
     def predecessors(self) -> list[np.ndarray]:
+        # ``edges`` is unique and sorted by (source, target), so a stable
+        # sort on target groups each unit's predecessors in ascending
+        # source order: CSR-style slicing replaces the per-edge loop.
         n_units = self.partition.num_units
-        preds: list[list[int]] = [[] for _ in range(n_units)]
-        for s, t in self.edges.tolist():
-            preds[t].append(s)
-        return [np.asarray(sorted(set(p)), dtype=np.int64) for p in preds]
+        order = np.argsort(self.edges[:, 1], kind="stable")
+        src = np.ascontiguousarray(self.edges[order, 0])
+        tgt = self.edges[order, 1]
+        bounds = np.searchsorted(tgt, np.arange(n_units + 1, dtype=np.int64))
+        return [src[bounds[u] : bounds[u + 1]] for u in range(n_units)]
 
     @cached_property
     def successors(self) -> list[np.ndarray]:
+        # Lexicographic (source, target) order means ``edges`` is already
+        # grouped by source with ascending targets.
         n_units = self.partition.num_units
-        succ: list[list[int]] = [[] for _ in range(n_units)]
-        for s, t in self.edges.tolist():
-            succ[s].append(t)
-        return [np.asarray(sorted(set(x)), dtype=np.int64) for x in succ]
+        src = self.edges[:, 0]
+        tgt = np.ascontiguousarray(self.edges[:, 1])
+        bounds = np.searchsorted(src, np.arange(n_units + 1, dtype=np.int64))
+        return [tgt[bounds[u] : bounds[u + 1]] for u in range(n_units)]
 
     @cached_property
     def independent_units(self) -> np.ndarray:
@@ -190,12 +196,27 @@ class UnitLocator:
     def __init__(self, partition: Partition):
         self.partition = partition
         n = partition.pattern.n
-        per_col: list[list[Interval]] = [[] for _ in range(n)]
-        for u in partition.units:
-            iv = Interval(u.row_lo, u.row_hi, u.uid)
-            for c in range(u.col_lo, u.col_hi + 1):
-                per_col[c].append(iv)
-        self._trees = [IntervalTree(ivs) for ivs in per_col]
+        units = partition.units
+        n_units = len(units)
+        # Expand every unit's column extent with repeat/cumsum, then group
+        # the (column, unit) incidences by column — no per-(unit, column)
+        # Python append.
+        col_lo = np.fromiter((u.col_lo for u in units), dtype=np.int64, count=n_units)
+        widths = np.fromiter(
+            (u.col_hi - u.col_lo + 1 for u in units), dtype=np.int64, count=n_units
+        )
+        unit_of_inc = np.repeat(np.arange(n_units, dtype=np.int64), widths)
+        cum = np.cumsum(widths)
+        cols = np.arange(int(cum[-1]) if n_units else 0, dtype=np.int64)
+        cols += (col_lo - (cum - widths))[unit_of_inc]
+        order = np.argsort(cols, kind="stable")  # keeps unit order per column
+        sorted_units = unit_of_inc[order]
+        bounds = np.searchsorted(cols[order], np.arange(n + 1, dtype=np.int64))
+        intervals = [Interval(u.row_lo, u.row_hi, u.uid) for u in units]
+        self._trees = [
+            IntervalTree([intervals[k] for k in sorted_units[bounds[c] : bounds[c + 1]]])
+            for c in range(n)
+        ]
 
     def locate(self, row: int, col: int) -> int:
         """Unit id owning position (row, col); -1 if no unit covers it.

@@ -42,14 +42,21 @@ def topological_order(n_units: int, edges: np.ndarray) -> np.ndarray:
     unit rectangles (emitted after the diagonal unit triangles) update
     later diagonal triangles.  Raises if a cycle is found.
     """
-    indeg = np.zeros(n_units, dtype=np.int64)
-    succ: list[list[int]] = [[] for _ in range(n_units)]
-    for s, t in edges.tolist():
-        succ[s].append(t)
-        indeg[t] += 1
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if len(edges):
+        indeg = np.bincount(edges[:, 1], minlength=n_units)
+        # CSR-style adjacency: sort edges by source, slice per unit.
+        order = np.argsort(edges[:, 0], kind="stable")
+        src_sorted = edges[order, 0]
+        dst_sorted = np.ascontiguousarray(edges[order, 1])
+        bounds = np.searchsorted(src_sorted, np.arange(n_units + 1, dtype=np.int64))
+    else:
+        indeg = np.zeros(n_units, dtype=np.int64)
+        dst_sorted = np.zeros(0, dtype=np.int64)
+        bounds = np.zeros(n_units + 1, dtype=np.int64)
     import heapq
 
-    heap = [u for u in range(n_units) if indeg[u] == 0]
+    heap = np.flatnonzero(indeg == 0).tolist()
     heapq.heapify(heap)
     out = np.empty(n_units, dtype=np.int64)
     k = 0
@@ -57,7 +64,7 @@ def topological_order(n_units: int, edges: np.ndarray) -> np.ndarray:
         u = heapq.heappop(heap)
         out[k] = u
         k += 1
-        for v in succ[u]:
+        for v in dst_sorted[bounds[u] : bounds[u + 1]].tolist():
             indeg[v] -= 1
             if indeg[v] == 0:
                 heapq.heappush(heap, v)
@@ -111,10 +118,13 @@ def edge_volumes(
     t = key // nnz
     s_elem = key % nnz
     s_unit = uoe[s_elem]
-    out: dict[tuple[int, int], int] = {}
-    for su, tu in zip(s_unit.tolist(), t.tolist()):
-        out[(su, tu)] = out.get((su, tu), 0) + 1
-    return out
+    # Grouped count per (source unit, target unit) edge via np.unique.
+    n_units = partition.num_units
+    edge_key, counts = np.unique(s_unit * np.int64(n_units) + t, return_counts=True)
+    return {
+        (int(k // n_units), int(k % n_units)): int(c)
+        for k, c in zip(edge_key.tolist(), counts.tolist())
+    }
 
 
 def simulate_schedule(
@@ -148,6 +158,12 @@ def simulate_schedule(
     finish = np.zeros(n_units, dtype=np.float64)
 
     indeg = np.asarray([len(p) for p in preds], dtype=np.int64)
+    # Incremental data-arrival times: arrival[u] is the max, over the
+    # predecessors of u that have finished so far, of the time their data
+    # reaches u's (fixed) processor.  It is updated once per dependency
+    # edge when the predecessor finishes, and is final by the time
+    # indeg[u] hits zero — so dispatch never rescans predecessors.
+    arrival = np.zeros(n_units, dtype=np.float64)
     ready: list[set[int]] = [set() for _ in range(nprocs)]
     for u in range(n_units):
         if indeg[u] == 0:
@@ -157,16 +173,6 @@ def simulate_schedule(
 
     import heapq
 
-    def arrival_time(u: int, p: int) -> float:
-        t = 0.0
-        for q in preds[u]:
-            q = int(q)
-            a = finish[q]
-            if int(proc_of_unit[q]) != p:
-                a += model.alpha + model.beta * volumes.get((q, u), 0)
-            t = max(t, a)
-        return t
-
     events: list[tuple[float, int, int]] = []  # (finish time, unit, proc)
 
     def try_start(p: int) -> None:
@@ -174,8 +180,9 @@ def simulate_schedule(
             return
         best = None
         best_key = None
+        free = proc_free[p]
         for u in ready[p]:
-            key = (max(arrival_time(u, p), proc_free[p]), u)
+            key = (max(arrival[u], free), u)
             if best_key is None or key < best_key:
                 best, best_key = u, key
         assert best is not None and best_key is not None
@@ -196,6 +203,11 @@ def simulate_schedule(
         running[p] = False
         done += 1
         for v in succs[u].tolist():
+            a = t
+            if p != int(proc_of_unit[v]):
+                a += model.alpha + model.beta * volumes.get((u, v), 0)
+            if a > arrival[v]:
+                arrival[v] = a
             indeg[v] -= 1
             if indeg[v] == 0:
                 q = int(proc_of_unit[v])

@@ -1,0 +1,39 @@
+"""repro.perf — the sweep loop as the unit of optimization.
+
+Three pieces make repeated pipeline evaluations cheap:
+
+* :mod:`repro.perf.cache` — a content-addressed, versioned disk cache
+  for :func:`repro.core.pipeline.prepare` results (ordering + symbolic
+  factorization), with ``perf.cache.hit``/``perf.cache.miss`` counters;
+* :mod:`repro.perf.sweep` — a parameter-grid runner fanning
+  ``block_mapping``/``wrap_mapping`` cells over a process pool while
+  sharing one prepared matrix per matrix through the cache;
+* :mod:`repro.perf.bench` — the per-stage timing harness behind
+  ``BENCH_pipeline.json`` and the CI smoke-bench step.
+
+See ``docs/performance.md``.
+"""
+
+from .bench import STAGES, bench_pipeline, render_bench
+from .cache import (
+    CACHE_VERSION,
+    PrepareCache,
+    cached_prepare,
+    default_cache_dir,
+    prepare_key,
+)
+from .sweep import SweepTask, build_grid, sweep
+
+__all__ = [
+    "CACHE_VERSION",
+    "PrepareCache",
+    "cached_prepare",
+    "default_cache_dir",
+    "prepare_key",
+    "SweepTask",
+    "build_grid",
+    "sweep",
+    "STAGES",
+    "bench_pipeline",
+    "render_bench",
+]

@@ -1,0 +1,122 @@
+"""Pipeline benchmark harness: per-stage wall times to ``BENCH_pipeline.json``.
+
+Runs the full pipeline (order -> symbolic -> enumerate_updates ->
+partition -> dependencies -> schedule -> metrics) on the paper's test
+matrices under a scoped :class:`repro.obs.Recorder`, sums the recorded
+span durations per stage, and writes one JSON document so successive
+PRs have a perf trajectory to regress against.  ``smoke`` mode swaps in
+tiny generated grids: it exercises the exact same measurement and
+serialization path in well under a second, which is what CI runs on
+every push.
+
+Each matrix entry also carries a result fingerprint (traffic total,
+imbalance, pair-update count) so a timing regression can be told apart
+from a semantics change.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..core.pipeline import block_mapping, prepare
+from ..obs import trace as obs
+from ..obs.trace import Recorder
+from ..sparse import grid9
+from ..sparse import harwell_boeing as hb
+
+__all__ = ["BENCH_SCHEMA_VERSION", "STAGES", "bench_pipeline", "render_bench"]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Stage name in the report -> span name recorded by the pipeline.
+STAGES = {
+    "order": "pipeline.order",
+    "symbolic": "pipeline.symbolic",
+    "enumerate_updates": "pipeline.enumerate_updates",
+    "partition": "pipeline.partition",
+    "dependencies": "pipeline.dependencies",
+    "schedule": "pipeline.schedule",
+    "metrics": "pipeline.metrics",
+}
+
+#: Tiny deterministic problems for smoke mode (CI on every push).
+SMOKE_MATRICES = {
+    "GRID9x8": lambda: grid9(8, 8),
+    "GRID9x12": lambda: grid9(12, 12),
+}
+
+
+def _bench_one(name: str, graph, nprocs: int, grain: int) -> dict:
+    with obs.enabled(Recorder()) as rec:
+        t0 = time.perf_counter()
+        prepared = prepare(graph, name=name)
+        prepared.updates  # noqa: B018 - forces the enumerate_updates stage
+        result = block_mapping(prepared, nprocs, grain=grain)
+        wall = time.perf_counter() - t0
+    stages = {
+        stage: sum(s.duration for s in rec.spans_named(span_name))
+        for stage, span_name in STAGES.items()
+    }
+    return {
+        "n": int(graph.n),
+        "factor_nnz": int(prepared.factor_nnz),
+        "pair_updates": int(prepared.updates.num_pair_updates),
+        "stages": stages,
+        "wall_total": wall,
+        "traffic_total": int(result.traffic.total),
+        "imbalance": float(result.balance.imbalance),
+    }
+
+
+def bench_pipeline(
+    matrices=None,
+    nprocs: int = 16,
+    grain: int = 25,
+    smoke: bool = False,
+    out: str | Path | None = "BENCH_pipeline.json",
+) -> dict:
+    """Benchmark the pipeline stages and write the JSON report.
+
+    ``matrices`` defaults to every paper matrix (Table 1/2), or the tiny
+    smoke grids when ``smoke`` is set.  Returns the report dict; writes
+    it to ``out`` unless ``out`` is ``None``.
+    """
+    if smoke:
+        problems = {name: build() for name, build in SMOKE_MATRICES.items()}
+    else:
+        names = list(matrices) if matrices else list(hb.names())
+        problems = {name: hb.load(name) for name in names}
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "smoke": bool(smoke),
+        "nprocs": int(nprocs),
+        "grain": int(grain),
+        "matrices": {
+            name: _bench_one(name, graph, nprocs, grain)
+            for name, graph in problems.items()
+        },
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def render_bench(report: dict) -> str:
+    """ASCII summary of a bench report (stage milliseconds per matrix)."""
+    stage_names = list(STAGES)
+    headers = ["matrix", "n", "nnz(L)"] + stage_names + ["total"]
+    lines = ["  ".join(f"{h:>18}" if i > 2 else f"{h:>10}" for i, h in enumerate(headers))]
+    for name, entry in report["matrices"].items():
+        cells = [f"{name:>10}", f"{entry['n']:>10}", f"{entry['factor_nnz']:>10}"]
+        for stage in stage_names:
+            cells.append(f"{entry['stages'][stage] * 1e3:>18.2f}")
+        cells.append(f"{entry['wall_total'] * 1e3:>18.2f}")
+        lines.append("  ".join(cells))
+    mode = "smoke" if report.get("smoke") else "full"
+    lines.append(
+        f"(stage times in ms; {mode} mode, P={report['nprocs']}, g={report['grain']})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Content-addressed disk cache for :func:`repro.core.pipeline.prepare`.
+
+Ordering and symbolic factorization are the sweep-invariant, Python-loop
+heavy stages of the pipeline; everything downstream (partitioning,
+scheduling, metrics) re-derives cheaply from their output.  This module
+persists that output so repeated sweeps — and every worker process of a
+parallel sweep — skip both stages entirely.
+
+Cache entries are keyed by a SHA-256 over the *content* of the input
+structure (CSR arrays of the :class:`SymmetricGraph`), the ordering
+algorithm name, and :data:`CACHE_VERSION`, so a matrix generator tweak
+or an ordering change can never serve a stale entry.  Entries are
+``.npz`` files laid out ``<root>/<key[:2]>/<key>.npz`` and carry the
+version redundantly inside the payload; an entry that is unreadable,
+fails validation, or was written by a different version is **ignored**
+(treated as a miss and recomputed), never trusted.
+
+Observability: loads and stores run under ``perf.cache.load`` /
+``perf.cache.store`` spans and bump ``perf.cache.hit`` /
+``perf.cache.miss`` (plus ``perf.cache.store``) counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from ..core.pipeline import PreparedMatrix, prepare
+from ..obs import trace as obs
+from ..sparse.pattern import LowerPattern, SymmetricGraph
+from ..symbolic.fill import SymbolicFactor
+
+__all__ = [
+    "CACHE_VERSION",
+    "PrepareCache",
+    "cached_prepare",
+    "default_cache_dir",
+    "prepare_key",
+]
+
+#: Bump whenever the on-disk payload layout or the semantics of any
+#: cached stage change; old entries then miss on both key and payload.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-prepare``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-prepare"
+
+
+def prepare_key(graph: SymmetricGraph, ordering: str) -> str:
+    """Content hash identifying one (structure, ordering) prepare result."""
+    h = hashlib.sha256()
+    h.update(f"repro-prepare|v{CACHE_VERSION}|{ordering}|{graph.n}|".encode())
+    h.update(np.ascontiguousarray(graph.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(graph.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+class PrepareCache:
+    """Disk cache mapping (structure, ordering) -> prepared factorization."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    def load(
+        self, graph: SymmetricGraph, ordering: str = "mmd", name: str = ""
+    ) -> PreparedMatrix | None:
+        """Return the cached prepare result, or ``None`` on any miss.
+
+        Corrupted, truncated, incomplete or version-mismatched entries
+        are treated as misses — the caller recomputes and overwrites.
+        """
+        key = prepare_key(graph, ordering)
+        path = self.path_for(key)
+        with obs.span("perf.cache.load", key=key[:12], matrix=name or "matrix"):
+            try:
+                with np.load(path) as data:
+                    if int(data["version"]) != CACHE_VERSION:
+                        raise ValueError("cache version mismatch")
+                    perm = np.asarray(data["perm"], dtype=np.int64)
+                    parent = np.asarray(data["parent"], dtype=np.int64)
+                    indptr = np.asarray(data["indptr"], dtype=np.int64)
+                    rowidx = np.asarray(data["rowidx"], dtype=np.int64)
+                # LowerPattern validates shape/diagonal invariants; a
+                # mangled payload raises here and counts as a miss.
+                pattern = LowerPattern(graph.n, indptr, rowidx)
+                if len(perm) != graph.n or len(parent) != graph.n:
+                    raise ValueError("cache payload has wrong order")
+            except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+                if not isinstance(exc, FileNotFoundError):
+                    obs.counter("perf.cache.invalid")
+                obs.counter("perf.cache.miss")
+                return None
+        obs.counter("perf.cache.hit")
+        return PreparedMatrix(
+            name=name or "matrix",
+            graph=graph,
+            perm=perm,
+            symbolic=SymbolicFactor(pattern, parent, perm),
+        )
+
+    def store(
+        self, graph: SymmetricGraph, ordering: str, prepared: PreparedMatrix
+    ) -> Path:
+        """Persist a prepare result atomically (write-temp + rename)."""
+        key = prepare_key(graph, ordering)
+        path = self.path_for(key)
+        with obs.span("perf.cache.store", key=key[:12], matrix=prepared.name):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(
+                        fh,
+                        version=np.int64(CACHE_VERSION),
+                        perm=prepared.perm,
+                        parent=prepared.symbolic.parent,
+                        indptr=prepared.pattern.indptr,
+                        rowidx=prepared.pattern.rowidx,
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        obs.counter("perf.cache.store")
+        return path
+
+
+def cached_prepare(
+    graph: SymmetricGraph,
+    ordering: str = "mmd",
+    name: str = "",
+    cache_dir: str | Path | None = None,
+) -> PreparedMatrix:
+    """:func:`repro.core.pipeline.prepare` through the disk cache.
+
+    A hit skips the ordering and symbolic stages entirely; a miss runs
+    them and stores the result for the next caller.
+    """
+    cache = PrepareCache(cache_dir)
+    hit = cache.load(graph, ordering, name)
+    if hit is not None:
+        return hit
+    prepared = prepare(graph, ordering=ordering, name=name)
+    cache.store(graph, ordering, prepared)
+    return prepared

@@ -1,0 +1,237 @@
+"""Parallel parameter sweeps over the mapping pipeline.
+
+The paper's methodology is a grid of (scheme, grain, width, processor
+count) cells measured over a fixed sparsity structure.  The expensive
+stages — ordering, symbolic factorization — are invariant across the
+grid, so this module splits the work accordingly:
+
+1. every distinct matrix is prepared **once** and shared through the
+   :mod:`repro.perf.cache` disk cache;
+2. the grid cells fan out over a :class:`concurrent.futures`
+   process pool (``jobs`` workers), each worker loading the shared
+   prepared matrix from the cache on its first task;
+3. results come back as the same :class:`~repro.analysis.sweep.SweepRecord`
+   rows the serial harness produces, in deterministic grid order, so
+   ``jobs=8`` and ``jobs=1`` are value-identical.
+
+Observability: the fan-out runs under a ``perf.sweep.run`` span, each
+task lands on the recorder as a ``perf.sweep`` timeline event (serial
+tasks also get real ``perf.sweep.task`` spans), worker cache traffic is
+aggregated into ``perf.cache.hit``/``perf.cache.miss``, and pool
+efficiency is reported via the ``perf.sweep.pool_utilization`` gauge.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.sweep import SweepRecord, _record
+from ..core.pipeline import (
+    PreparedMatrix,
+    adaptive_block_mapping,
+    block_mapping,
+    prepare,
+    wrap_mapping,
+)
+from ..obs import trace as obs
+from ..sparse import harwell_boeing as hb
+from .cache import cached_prepare
+
+__all__ = ["SweepTask", "build_grid", "sweep"]
+
+_SCHEMES = ("block", "block-adaptive", "wrap")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of a sweep grid (picklable, resolved inside workers)."""
+
+    matrix: str
+    scheme: str
+    nprocs: int
+    grain: int | None
+    min_width: int | None
+    ordering: str = "mmd"
+
+    def label(self) -> str:
+        bits = [self.matrix, self.scheme, f"P={self.nprocs}"]
+        if self.grain is not None:
+            bits.append(f"g={self.grain}")
+        return " ".join(bits)
+
+
+def build_grid(
+    matrices,
+    schemes=("block", "wrap"),
+    procs=(4, 16, 32),
+    grains=(4, 25),
+    min_widths=(4,),
+    ordering: str = "mmd",
+) -> list[SweepTask]:
+    """Expand a parameter grid in the serial harness's nesting order."""
+    for s in schemes:
+        if s not in _SCHEMES:
+            raise ValueError(f"unknown scheme {s!r}; expected one of {_SCHEMES}")
+    for m in matrices:
+        if m not in hb.PAPER_MATRICES:
+            raise ValueError(
+                f"unknown matrix {m!r}; expected one of {tuple(hb.names())}"
+            )
+    tasks: list[SweepTask] = []
+    for matrix in matrices:
+        for nprocs in procs:
+            for scheme in schemes:
+                if scheme == "wrap":
+                    tasks.append(SweepTask(matrix, scheme, nprocs, None, None, ordering))
+                    continue
+                for grain in grains:
+                    for width in min_widths:
+                        tasks.append(
+                            SweepTask(matrix, scheme, nprocs, grain, width, ordering)
+                        )
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# task execution (runs in workers; module-level for picklability)
+# ----------------------------------------------------------------------
+
+#: Per-process memo so one worker prepares/loads each matrix only once.
+_WORKER_PREPARED: dict[tuple[str, str], PreparedMatrix] = {}
+
+
+def _prepared(
+    matrix: str,
+    ordering: str,
+    cache_dir: str | None,
+    memo: dict[tuple[str, str], PreparedMatrix],
+) -> PreparedMatrix:
+    key = (matrix, ordering)
+    if key not in memo:
+        graph = hb.load(matrix)
+        if cache_dir is None:
+            memo[key] = prepare(graph, ordering=ordering, name=matrix)
+        else:
+            memo[key] = cached_prepare(graph, ordering, matrix, cache_dir)
+    return memo[key]
+
+
+def _measure(
+    task: SweepTask,
+    cache_dir: str | None,
+    memo: dict[tuple[str, str], PreparedMatrix],
+) -> SweepRecord:
+    prep = _prepared(task.matrix, task.ordering, cache_dir, memo)
+    if task.scheme == "wrap":
+        result = wrap_mapping(prep, task.nprocs)
+    else:
+        runner = block_mapping if task.scheme == "block" else adaptive_block_mapping
+        result = runner(
+            prep, task.nprocs, grain=task.grain, min_width=task.min_width
+        )
+    return _record(prep, result, task.nprocs, task.grain, task.min_width)
+
+
+def _run_task(payload) -> tuple[int, SweepRecord, dict]:
+    """Worker entry: run one cell under a scoped recorder, report stats."""
+    index, task, cache_dir = payload
+    t0 = time.perf_counter()
+    with obs.enabled(obs.Recorder()) as rec:
+        record = _measure(task, cache_dir, _WORKER_PREPARED)
+    stats = {
+        "elapsed": time.perf_counter() - t0,
+        "cache_hit": rec.counters.get("perf.cache.hit", 0),
+        "cache_miss": rec.counters.get("perf.cache.miss", 0),
+    }
+    return index, record, stats
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def sweep(
+    matrices,
+    schemes=("block", "wrap"),
+    procs=(4, 16, 32),
+    grains=(4, 25),
+    min_widths=(4,),
+    ordering: str = "mmd",
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> list[SweepRecord]:
+    """Measure every grid cell, fanning out over ``jobs`` processes.
+
+    ``matrices`` is an iterable of registry names (see
+    :data:`repro.sparse.harwell_boeing.PAPER_MATRICES`).  With
+    ``jobs <= 1`` everything runs in-process; with ``jobs > 1`` cells are
+    distributed over a process pool, sharing one prepared matrix per
+    matrix through the disk cache (an ephemeral cache directory is used
+    when ``cache_dir`` is ``None``).  Records always come back in grid
+    order with values identical to the serial path.
+    """
+    matrices = list(matrices)
+    tasks = build_grid(matrices, schemes, procs, grains, min_widths, ordering)
+    cache_str = str(cache_dir) if cache_dir is not None else None
+    if jobs <= 1:
+        memo: dict[tuple[str, str], PreparedMatrix] = {}
+        records = []
+        with obs.span("perf.sweep.run", tasks=len(tasks), jobs=1):
+            for task in tasks:
+                with obs.span("perf.sweep.task", label=task.label()):
+                    records.append(_measure(task, cache_str, memo))
+        return records
+
+    tmp = None
+    if cache_str is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
+        cache_str = tmp.name
+    try:
+        with obs.span("perf.sweep.run", tasks=len(tasks), jobs=jobs):
+            # Prepare (or re-load) each matrix once up front so workers
+            # always find a warm cache entry.
+            for matrix in dict.fromkeys(matrices):
+                cached_prepare(hb.load(matrix), ordering, matrix, cache_str)
+            t_epoch = time.perf_counter()
+            results: list[SweepRecord | None] = [None] * len(tasks)
+            busy = 0.0
+            hits = 0.0
+            misses = 0.0
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_run_task, (i, task, cache_str))
+                    for i, task in enumerate(tasks)
+                ]
+                for future in as_completed(futures):
+                    index, record, stats = future.result()
+                    results[index] = record
+                    busy += stats["elapsed"]
+                    hits += stats["cache_hit"]
+                    misses += stats["cache_miss"]
+                    done_at = time.perf_counter() - t_epoch
+                    obs.timeline_event(
+                        f"sweep {tasks[index].label()}",
+                        ts=max(0.0, done_at - stats["elapsed"]),
+                        dur=stats["elapsed"],
+                        lane=index % jobs,
+                        track="perf.sweep",
+                        index=index,
+                    )
+            wall = time.perf_counter() - t_epoch
+            if hits:
+                obs.counter("perf.cache.hit", hits)
+            if misses:
+                obs.counter("perf.cache.miss", misses)
+            obs.counter("perf.sweep.tasks", len(tasks))
+            obs.gauge("perf.sweep.jobs", jobs)
+            obs.gauge(
+                "perf.sweep.pool_utilization",
+                busy / (jobs * wall) if wall > 0 else 0.0,
+            )
+        return [r for r in results if r is not None]
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

@@ -3,6 +3,8 @@
 from .coo import COOBuilder
 from .csc import LowerCSC, SymmetricCSC
 from .generators import (
+    band_graph,
+    band_lower_pattern,
     grid5,
     grid9,
     knn_mesh,
@@ -32,6 +34,8 @@ __all__ = [
     "SymmetricCSC",
     "LowerPattern",
     "SymmetricGraph",
+    "band_graph",
+    "band_lower_pattern",
     "grid5",
     "grid9",
     "knn_mesh",

@@ -23,6 +23,8 @@ __all__ = [
     "knn_mesh",
     "stiffened_cylinder",
     "random_symmetric_graph",
+    "band_graph",
+    "band_lower_pattern",
     "path_graph",
     "star_graph",
     "spd_from_graph",
@@ -268,6 +270,45 @@ def random_symmetric_graph(n: int, density: float, seed: int = 0) -> SymmetricGr
     mask = np.tril(rng.random((n, n)) < density, -1)
     u, v = np.nonzero(mask)
     return SymmetricGraph.from_edges(n, u, v)
+
+
+def band_graph(n: int, bandwidth: int) -> SymmetricGraph:
+    """Band matrix structure: node i adjacent to i±1 .. i±bandwidth.
+
+    Under the natural ordering its Cholesky factor is the dense band
+    (:func:`band_lower_pattern`), making this the stress generator for
+    update enumeration: many columns, uniform moderate fill.
+    """
+    if bandwidth < 1:
+        raise ValueError("bandwidth must be >= 1")
+    us, vs = [], []
+    for d in range(1, min(bandwidth, n - 1) + 1):
+        u = np.arange(n - d, dtype=np.int64)
+        us.append(u)
+        vs.append(u + d)
+    if not us:
+        return SymmetricGraph.empty(n)
+    return SymmetricGraph.from_edges(n, np.concatenate(us), np.concatenate(vs))
+
+
+def band_lower_pattern(n: int, bandwidth: int):
+    """Dense-band lower pattern: column j holds rows j .. j+bandwidth.
+
+    This is the (fill-closed) factor structure of :func:`band_graph`
+    under the natural ordering, built directly without a symbolic
+    factorization pass.
+    """
+    from .pattern import LowerPattern
+
+    counts = np.minimum(bandwidth + 1, n - np.arange(n, dtype=np.int64))
+    cols = np.repeat(np.arange(n, dtype=np.int64), counts)
+    rows = np.arange(len(cols), dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    rows += cols
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return LowerPattern(n, indptr, rows)
 
 
 def path_graph(n: int) -> SymmetricGraph:

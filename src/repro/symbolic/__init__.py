@@ -5,13 +5,14 @@ from .etree import children_lists, etree, postorder, tree_levels
 from .fill import SymbolicFactor, fill_in, symbolic_cholesky
 from .supernodes import fundamental_supernodes, supernode_of_column
 from .treestats import TreeStats, tree_stats
-from .updates import UpdateSet, enumerate_updates
+from .updates import UpdateSet, enumerate_updates, enumerate_updates_reference
 
 __all__ = [
     "TreeStats",
     "tree_stats",
     "UpdateSet",
     "enumerate_updates",
+    "enumerate_updates_reference",
     "column_counts",
     "factor_nnz",
     "row_counts",

@@ -1,0 +1,56 @@
+"""Bench harness smoke: report structure, fingerprint, rendering."""
+
+import json
+
+import pytest
+
+from repro.perf import STAGES, bench_pipeline, render_bench
+from repro.perf.bench import BENCH_SCHEMA_VERSION, SMOKE_MATRICES
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_pipeline.json"
+    report = bench_pipeline(smoke=True, out=out)
+    # The file on disk is the same document the call returned.
+    assert json.loads(out.read_text()) == json.loads(json.dumps(report))
+    return report
+
+
+class TestSmokeReport:
+    def test_schema(self, report):
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert report["smoke"] is True
+        assert set(report["matrices"]) == set(SMOKE_MATRICES)
+
+    def test_every_stage_timed(self, report):
+        for entry in report["matrices"].values():
+            assert set(entry["stages"]) == set(STAGES)
+            assert all(t >= 0.0 for t in entry["stages"].values())
+            # order/symbolic/partition actually ran (nonzero spans).
+            assert entry["stages"]["order"] > 0.0
+            assert entry["stages"]["partition"] > 0.0
+
+    def test_fingerprint_present(self, report):
+        for entry in report["matrices"].values():
+            assert entry["pair_updates"] > 0
+            assert entry["traffic_total"] > 0
+            assert entry["factor_nnz"] >= entry["n"] > 0
+            assert entry["wall_total"] > 0.0
+
+    def test_out_none_skips_write(self):
+        report = bench_pipeline(smoke=True, out=None)
+        assert set(report["matrices"]) == set(SMOKE_MATRICES)
+
+    def test_render(self, report):
+        text = render_bench(report)
+        assert "GRID9x8" in text and "GRID9x12" in text
+        assert "enumerate_updates" in text
+        assert "smoke mode" in text
+
+
+class TestMatrixSelection:
+    def test_explicit_matrix_list(self, tmp_path):
+        report = bench_pipeline(matrices=["LAP30"], out=None)
+        assert list(report["matrices"]) == ["LAP30"]
+        assert report["smoke"] is False

@@ -1,0 +1,138 @@
+"""PrepareCache: round-trips, and every flavor of bad entry is a miss."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import prepare
+from repro.perf import CACHE_VERSION, PrepareCache, cached_prepare, prepare_key
+from repro.perf import cache as cache_mod
+from repro.sparse import grid9
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid9(7, 7)
+
+
+@pytest.fixture(scope="module")
+def prepared(graph):
+    return prepare(graph, name="grid9(7,7)")
+
+
+class TestKey:
+    def test_deterministic(self, graph):
+        assert prepare_key(graph, "mmd") == prepare_key(graph, "mmd")
+
+    def test_depends_on_ordering(self, graph):
+        assert prepare_key(graph, "mmd") != prepare_key(graph, "natural")
+
+    def test_depends_on_structure(self, graph):
+        assert prepare_key(graph, "mmd") != prepare_key(grid9(7, 8), "mmd")
+
+    def test_depends_on_version(self, graph, monkeypatch):
+        before = prepare_key(graph, "mmd")
+        monkeypatch.setattr(cache_mod, "CACHE_VERSION", CACHE_VERSION + 1)
+        assert prepare_key(graph, "mmd") != before
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path, graph, prepared):
+        cache = PrepareCache(tmp_path)
+        assert cache.load(graph) is None  # cold
+        cache.store(graph, "mmd", prepared)
+        hit = cache.load(graph, name="grid9(7,7)")
+        assert hit is not None
+        np.testing.assert_array_equal(hit.perm, prepared.perm)
+        np.testing.assert_array_equal(hit.symbolic.parent, prepared.symbolic.parent)
+        np.testing.assert_array_equal(hit.pattern.indptr, prepared.pattern.indptr)
+        np.testing.assert_array_equal(hit.pattern.rowidx, prepared.pattern.rowidx)
+
+    def test_cached_prepare_counters(self, tmp_path, graph):
+        with obs.enabled(obs.Recorder()) as rec:
+            cached_prepare(graph, "mmd", "g", tmp_path)
+        assert rec.counters.get("perf.cache.miss") == 1
+        assert rec.counters.get("perf.cache.store") == 1
+        assert rec.counters.get("pipeline.stage.order") == 1  # recomputed
+        with obs.enabled(obs.Recorder()) as rec:
+            warm = cached_prepare(graph, "mmd", "g", tmp_path)
+        assert rec.counters == {"perf.cache.hit": 1}  # no pipeline stages ran
+        assert warm.pattern.nnz > 0
+
+    def test_matches_direct_prepare(self, tmp_path, graph, prepared):
+        cache = PrepareCache(tmp_path)
+        cache.store(graph, "mmd", prepared)
+        hit = cached_prepare(graph, "mmd", "g", tmp_path)
+        np.testing.assert_array_equal(hit.perm, prepared.perm)
+        np.testing.assert_array_equal(hit.pattern.rowidx, prepared.pattern.rowidx)
+
+
+class TestBadEntriesAreMisses:
+    def _entry_path(self, tmp_path, graph):
+        return PrepareCache(tmp_path).path_for(prepare_key(graph, "mmd"))
+
+    def test_corrupted_entry_ignored(self, tmp_path, graph, prepared):
+        cache = PrepareCache(tmp_path)
+        cache.store(graph, "mmd", prepared)
+        self._entry_path(tmp_path, graph).write_bytes(b"not an npz file")
+        with obs.enabled(obs.Recorder()) as rec:
+            assert cache.load(graph) is None
+        assert rec.counters.get("perf.cache.miss") == 1
+        assert rec.counters.get("perf.cache.invalid") == 1
+
+    def test_truncated_entry_ignored(self, tmp_path, graph, prepared):
+        cache = PrepareCache(tmp_path)
+        cache.store(graph, "mmd", prepared)
+        path = self._entry_path(tmp_path, graph)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert cache.load(graph) is None
+
+    def test_version_bumped_entry_ignored(self, tmp_path, graph, prepared):
+        """An entry whose payload carries a newer version is recomputed."""
+        cache = PrepareCache(tmp_path)
+        cache.store(graph, "mmd", prepared)
+        path = self._entry_path(tmp_path, graph)
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["version"] = np.int64(CACHE_VERSION + 1)
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        with obs.enabled(obs.Recorder()) as rec:
+            assert cache.load(graph) is None
+        assert rec.counters.get("perf.cache.invalid") == 1
+        # cached_prepare recovers by recomputing and overwriting.
+        fresh = cached_prepare(graph, "mmd", "g", tmp_path)
+        np.testing.assert_array_equal(fresh.perm, prepared.perm)
+        assert cache.load(graph) is not None
+
+    def test_missing_field_ignored(self, tmp_path, graph, prepared):
+        cache = PrepareCache(tmp_path)
+        cache.store(graph, "mmd", prepared)
+        path = self._entry_path(tmp_path, graph)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files if k != "parent"}
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        assert cache.load(graph) is None
+
+    def test_mangled_pattern_ignored(self, tmp_path, graph, prepared):
+        """A payload failing LowerPattern validation is a miss, not a crash."""
+        cache = PrepareCache(tmp_path)
+        cache.store(graph, "mmd", prepared)
+        path = self._entry_path(tmp_path, graph)
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["rowidx"] = payload["rowidx"][::-1].copy()  # breaks diag-first
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        assert cache.load(graph) is None
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert cache_mod.default_cache_dir() == tmp_path / "custom"
+
+    def test_fallback_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert cache_mod.default_cache_dir().name == "repro-prepare"

@@ -1,0 +1,100 @@
+"""perf.sweep: grid construction, serial/parallel value-identity, cache use."""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.analysis.sweep import SweepRecord
+from repro.analysis.sweep import sweep as reference_sweep
+from repro.perf import build_grid, sweep
+from repro.perf.sweep import SweepTask
+
+
+class TestBuildGrid:
+    def test_nesting_order_matches_serial_harness(self):
+        tasks = build_grid(["DWT512"], schemes=("block", "wrap"),
+                           procs=(2, 4), grains=(4,), min_widths=(4,))
+        assert [(t.scheme, t.nprocs) for t in tasks] == [
+            ("block", 2), ("wrap", 2), ("block", 4), ("wrap", 4),
+        ]
+
+    def test_wrap_has_no_grain(self):
+        (task,) = build_grid(["LAP30"], schemes=("wrap",), procs=(4,))
+        assert task.grain is None and task.min_width is None
+
+    def test_block_expands_grain_and_width(self):
+        tasks = build_grid(["LAP30"], schemes=("block",), procs=(4,),
+                           grains=(4, 25), min_widths=(2, 4))
+        assert len(tasks) == 4
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            build_grid(["LAP30"], schemes=("diagonal",))
+
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(ValueError, match="unknown matrix"):
+            build_grid(["NOPE99"])
+
+    def test_label(self):
+        task = SweepTask("LAP30", "block", 16, 25, 4)
+        assert task.label() == "LAP30 block P=16 g=25"
+
+
+GRID = dict(schemes=("block", "wrap"), procs=(2,), grains=(4,), min_widths=(4,))
+
+
+@pytest.fixture(scope="module")
+def serial_records():
+    return sweep(["DWT512"], jobs=1, **GRID)
+
+
+class TestSerial:
+    def test_matches_analysis_harness(self, serial_records):
+        from repro.core import prepare
+        from repro.sparse import load
+
+        prep = prepare(load("DWT512"), name="DWT512")
+        reference = reference_sweep(
+            prep, schemes=GRID["schemes"], procs=GRID["procs"],
+            grains=GRID["grains"], min_widths=GRID["min_widths"],
+        )
+        assert serial_records == reference
+
+    def test_warm_cache_skips_ordering_and_symbolic(self, tmp_path):
+        sweep(["DWT512"], jobs=1, cache_dir=tmp_path, **GRID)  # cold: fills cache
+        with obs.enabled(obs.Recorder()) as rec:
+            warm = sweep(["DWT512"], jobs=1, cache_dir=tmp_path, **GRID)
+        assert rec.counters.get("perf.cache.hit") == 1  # one load per matrix
+        assert "perf.cache.miss" not in rec.counters
+        assert not rec.spans_named("pipeline.order")
+        assert not rec.spans_named("pipeline.symbolic")
+        assert warm == sweep(["DWT512"], jobs=1, **GRID)
+
+
+class TestParallel:
+    def test_identical_to_serial(self, serial_records):
+        parallel = sweep(["DWT512"], jobs=2, **GRID)
+        assert parallel == serial_records
+
+    def test_records_are_plain_sweep_records(self, serial_records):
+        parallel = sweep(["DWT512"], jobs=2, **GRID)
+        for rec in parallel:
+            assert isinstance(rec, SweepRecord)
+            assert dataclasses.asdict(rec)["matrix"] == "DWT512"
+
+    def test_workers_hit_prewarmed_cache(self, tmp_path):
+        with obs.enabled(obs.Recorder()) as rec:
+            sweep(["DWT512"], jobs=2, cache_dir=tmp_path, **GRID)
+        # The parent's pre-warm is the only miss; every worker load hits.
+        assert rec.counters.get("perf.cache.miss") == 1
+        assert rec.counters.get("perf.cache.hit", 0) >= 1
+        assert rec.counters.get("perf.sweep.tasks") == 2
+        assert rec.gauges.get("perf.sweep.jobs") == 2
+        assert 0.0 < rec.gauges.get("perf.sweep.pool_utilization") <= 1.0
+
+    def test_timeline_events_cover_every_task(self):
+        with obs.enabled(obs.Recorder()) as rec:
+            sweep(["DWT512"], jobs=2, **GRID)
+        events = [e for e in rec.timeline if e.track == "perf.sweep"]
+        assert len(events) == 2
