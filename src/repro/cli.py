@@ -107,16 +107,39 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             return f"{len(records)} records written to {args.output}"
         return text.rstrip("\n")
     if target == "bench":
-        from .perf import bench_pipeline, render_bench
+        import json
 
+        from .perf import bench_pipeline, find_regressions, render_bench, render_delta
+
+        baseline = None
+        baseline_path = args.bench_baseline or args.bench_out
+        try:
+            with open(baseline_path) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError):
+            baseline = None
         report = bench_pipeline(
             matrices=args.bench_matrices,
             nprocs=args.nprocs,
             grain=args.grain,
             smoke=args.smoke,
             out=args.bench_out,
+            repeats=args.bench_repeats,
         )
-        return render_bench(report) + f"\nreport written to {args.bench_out}"
+        text = render_bench(report) + f"\nreport written to {args.bench_out}"
+        if baseline is not None:
+            text += "\n\ndelta vs baseline " + str(baseline_path) + ":\n"
+            text += render_delta(report, baseline)
+            if not args.smoke:
+                regressions = find_regressions(report, baseline)
+                if regressions:
+                    raise SystemExit(
+                        "bench regression vs "
+                        + str(baseline_path)
+                        + " (stage >25% slower than baseline):\n  "
+                        + "\n  ".join(regressions)
+                    )
+        return text
     if target == "scorecard":
         from .analysis import render_table
         from .analysis.experiments import prepared_matrix
@@ -248,6 +271,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="with 'bench': tiny generated matrices (CI mode)")
     parser.add_argument("--bench-out", default="BENCH_pipeline.json", metavar="FILE",
                         help="with 'bench': where to write the JSON report")
+    parser.add_argument("--bench-baseline", default=None, metavar="FILE",
+                        help="with 'bench': baseline report for the delta "
+                             "table (default: the pre-existing --bench-out "
+                             "file); a full-mode stage regression >25%% "
+                             "exits nonzero")
+    parser.add_argument("--bench-repeats", type=int, default=None, metavar="N",
+                        help="with 'bench': best-of-N stage timings "
+                             "(default: 3 in full mode, 1 in smoke mode)")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="with 'trace': write Chrome-trace JSON here "
                              "(load in chrome://tracing or Perfetto)")

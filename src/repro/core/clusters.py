@@ -5,6 +5,15 @@ diagonal block is a dense triangle (optionally admitting a bounded
 fraction of padding zeros).  A multi-column cluster additionally owns a
 set of dense off-diagonal rectangles: the maximal runs of consecutive
 nonzero rows below the triangle, spanning the full cluster width.
+
+:func:`find_clusters` dispatches to a vectorized scan for the default
+``zero_tolerance == 0`` case: each column's leading run of consecutive
+rows is measured once with ``np.diff`` over the whole pattern (buffers
+pre-sized from the column counts), and a strip [s, e] has a dense
+triangle iff every column c in it reaches row e consecutively — a
+running-minimum test over those run lengths.  Any nonzero tolerance
+falls back to :func:`find_clusters_reference`, the original per-entry
+probing scan, which is also kept as the identity reference for tests.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ import numpy as np
 from ..sparse.pattern import LowerPattern
 from .blocks import BlockKind, DenseBlock
 
-__all__ = ["Cluster", "ClusterSet", "find_clusters"]
+__all__ = ["Cluster", "ClusterSet", "find_clusters", "find_clusters_reference"]
 
 
 @dataclass(frozen=True)
@@ -145,6 +154,98 @@ def _rectangles_for_strip(
     return tuple(rects), padding
 
 
+def _check_cluster_params(min_width: int, zero_tolerance: float) -> None:
+    if min_width < 1:
+        raise ValueError("min_width must be at least 1")
+    if not (0.0 <= zero_tolerance < 1.0):
+        raise ValueError("zero_tolerance must be in [0, 1)")
+
+
+def _rectangles_for_strip_fast(
+    pattern: LowerPattern, cluster_idx: int, s: int, e: int
+) -> tuple[tuple[DenseBlock, ...], int]:
+    """Vectorized :func:`_rectangles_for_strip`: one slice over the whole
+    strip, runs found via ``np.diff`` on the unique below-triangle rows,
+    padding from cumulative per-row presence counts."""
+    lo, hi = int(pattern.indptr[s]), int(pattern.indptr[e + 1])
+    strip_rows = pattern.rowidx[lo:hi]
+    below = strip_rows[strip_rows > e]
+    if below.size == 0:
+        return (), 0
+    rows, present = np.unique(below, return_counts=True)
+    breaks = np.nonzero(np.diff(rows) > 1)[0]
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [len(rows) - 1]])
+    csum = np.concatenate([[0], np.cumsum(present)])
+    width = e - s + 1
+    rects = []
+    padding = 0
+    for a, b in zip(starts.tolist(), ends.tolist()):
+        r_lo, r_hi = int(rows[a]), int(rows[b])
+        rects.append(DenseBlock(BlockKind.RECTANGLE, cluster_idx, s, e, r_lo, r_hi))
+        padding += width * (r_hi - r_lo + 1) - int(csum[b + 1] - csum[a])
+    return tuple(rects), padding
+
+
+def _find_clusters_dense(pattern: LowerPattern, min_width: int) -> ClusterSet:
+    """Fast scan for ``zero_tolerance == 0``: a strip's triangle is dense
+    iff every member column's leading run of consecutive rows reaches the
+    strip's last column."""
+    n = pattern.n
+    indptr = pattern.indptr
+    nnz = pattern.nnz
+    # reach[c] = one past the last row r such that rows c..r are all
+    # present in column c (the diagonal is always present).  Buffers are
+    # pre-sized from the column counts; run breaks come from np.diff.
+    if nnz:
+        brk = np.empty(nnz, dtype=bool)
+        brk[:-1] = np.diff(pattern.rowidx) != 1
+        brk[-1] = True
+        brk[indptr[1:] - 1] = True  # a column's last entry ends its run
+        brkpos = np.flatnonzero(brk)
+        first_brk = brkpos[np.searchsorted(brkpos, indptr[:-1])]
+        runlen = first_brk - indptr[:-1] + 1
+    else:
+        runlen = np.zeros(0, dtype=np.int64)
+    reach = (np.arange(n, dtype=np.int64) + runlen).tolist()
+    last_row = pattern.rowidx[indptr[1:] - 1].tolist() if n else []
+    clusters: list[Cluster] = []
+    s = 0
+    while s < n:
+        # Grow [s, e] while min(reach[s..e]) still covers row e + 1.
+        e = s
+        m = reach[s]
+        while e + 1 < n:
+            c = e + 1
+            m2 = reach[c] if reach[c] < m else m
+            if m2 < c + 1:
+                break
+            m = m2
+            e += 1
+        width = e - s + 1
+        idx = len(clusters)
+        if width >= min_width and width > 1:
+            tri = DenseBlock(BlockKind.TRIANGLE, idx, s, e, s, e)
+            rects, rect_padding = _rectangles_for_strip_fast(pattern, idx, s, e)
+            clusters.append(
+                Cluster(idx, s, e, tri, rects, rectangle_padding=rect_padding)
+            )
+            s = e + 1
+        else:
+            clusters.append(
+                Cluster(
+                    idx,
+                    s,
+                    s,
+                    None,
+                    (),
+                    column=DenseBlock(BlockKind.COLUMN, idx, s, s, s, last_row[s]),
+                )
+            )
+            s += 1
+    return ClusterSet(pattern, tuple(clusters), min_width, 0.0)
+
+
 def find_clusters(
     pattern: LowerPattern,
     min_width: int = 4,
@@ -158,11 +259,24 @@ def find_clusters(
     (the paper's "minimum cluster width" parameter); the scan then
     resumes at the *next* column, so a wide cluster starting one column
     later is still found (cf. the paper's column-34 example).
+
+    The default ``zero_tolerance == 0`` runs the vectorized scan; any
+    nonzero tolerance uses :func:`find_clusters_reference`.
     """
-    if min_width < 1:
-        raise ValueError("min_width must be at least 1")
-    if not (0.0 <= zero_tolerance < 1.0):
-        raise ValueError("zero_tolerance must be in [0, 1)")
+    _check_cluster_params(min_width, zero_tolerance)
+    if zero_tolerance == 0.0:
+        return _find_clusters_dense(pattern, min_width)
+    return find_clusters_reference(pattern, min_width, zero_tolerance)
+
+
+def find_clusters_reference(
+    pattern: LowerPattern,
+    min_width: int = 4,
+    zero_tolerance: float = 0.0,
+) -> ClusterSet:
+    """Reference cluster scan: per-entry probing, kept bit-identical to
+    the pre-vectorization implementation (see :func:`find_clusters`)."""
+    _check_cluster_params(min_width, zero_tolerance)
     n = pattern.n
     clusters: list[Cluster] = []
     s = 0

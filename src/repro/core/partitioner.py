@@ -105,8 +105,15 @@ class Partition:
         layer; kept here for quick size-based diagnostics)."""
         return np.asarray([u.nnz for u in self.units], dtype=np.int64)
 
+    @cached_property
+    def _units_by_cluster(self) -> list[list[UnitBlock]]:
+        groups: list[list[UnitBlock]] = [[] for _ in range(len(self.clusters))]
+        for u in self.units:
+            groups[u.cluster].append(u)
+        return groups
+
     def units_of_cluster(self, cluster_index: int) -> list[UnitBlock]:
-        return [u for u in self.units if u.cluster == cluster_index]
+        return list(self._units_by_cluster[cluster_index])
 
     def check_exact_cover(self) -> None:
         """Raise if the units do not partition the elements exactly."""
@@ -127,16 +134,30 @@ def _elements_in_region(
     row_lo: int,
     row_hi: int,
     triangular: bool,
+    ecol: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Element ids of pattern entries inside an inclusive region."""
-    out = []
-    for c in range(col_lo, col_hi + 1):
-        lo, hi = pattern.indptr[c], pattern.indptr[c + 1]
-        rows = pattern.rowidx[lo:hi]
-        a = lo + np.searchsorted(rows, max(row_lo, c if triangular else row_lo))
-        b = lo + np.searchsorted(rows, row_hi, side="right")
-        out.append(np.arange(a, b, dtype=np.int64))
-    return np.concatenate(out) if out else np.zeros(0, dtype=np.int64)
+    """Element ids of pattern entries inside an inclusive region.
+
+    Element ids of a column range are contiguous in CSC order, so the
+    region is one slice plus one boolean row filter; ``ecol`` (column of
+    every element id) is precomputed once per partition call for the
+    triangular lower bound ``row >= column``.
+    """
+    lo = int(pattern.indptr[col_lo])
+    hi = int(pattern.indptr[col_hi + 1])
+    rows = pattern.rowidx[lo:hi]
+    floor = np.int64(row_lo)
+    if triangular:
+        cols = (
+            ecol[lo:hi]
+            if ecol is not None
+            else np.repeat(
+                np.arange(col_lo, col_hi + 1, dtype=np.int64),
+                np.diff(pattern.indptr[col_lo : col_hi + 2]),
+            )
+        )
+        floor = np.maximum(floor, cols)
+    return lo + np.flatnonzero((rows >= floor) & (rows <= row_hi))
 
 
 def _partition_triangle(
@@ -145,6 +166,7 @@ def _partition_triangle(
     grain: int,
     max_parts: int | None,
     next_uid: int,
+    ecol: np.ndarray | None = None,
 ) -> tuple[list[UnitBlock], int]:
     """Split a cluster's diagonal triangle into unit triangles and unit
     rectangles, emitted in the paper's allocation order: diagonal unit
@@ -164,7 +186,7 @@ def _partition_triangle(
                 col_hi=hi,
                 row_lo=lo,
                 row_hi=hi,
-                elements=_elements_in_region(pattern, lo, hi, lo, hi, True),
+                elements=_elements_in_region(pattern, lo, hi, lo, hi, True, ecol),
                 parent_kind=BlockKind.TRIANGLE,
                 order_key=(tri.cluster, 0, 0, ci, 0),
             )
@@ -185,7 +207,7 @@ def _partition_triangle(
                     col_hi=c_hi,
                     row_lo=r_lo,
                     row_hi=r_hi,
-                    elements=_elements_in_region(pattern, c_lo, c_hi, r_lo, r_hi, False),
+                    elements=_elements_in_region(pattern, c_lo, c_hi, r_lo, r_hi, False, ecol),
                     parent_kind=BlockKind.TRIANGLE,
                     order_key=(tri.cluster, 0, 1, ri, ci),
                 )
@@ -201,6 +223,7 @@ def _partition_rectangle(
     grain: int,
     max_parts: int | None,
     next_uid: int,
+    ecol: np.ndarray | None = None,
 ) -> tuple[list[UnitBlock], int]:
     """Split an off-diagonal dense rectangle into a grid of unit
     rectangles, emitted row-major (top to bottom, left to right)."""
@@ -219,7 +242,7 @@ def _partition_rectangle(
                     col_hi=c_hi,
                     row_lo=r_lo,
                     row_hi=r_hi,
-                    elements=_elements_in_region(pattern, c_lo, c_hi, r_lo, r_hi, False),
+                    elements=_elements_in_region(pattern, c_lo, c_hi, r_lo, r_hi, False, ecol),
                     parent_kind=BlockKind.RECTANGLE,
                     order_key=(rect.cluster, 1 + rect_index, 0, ri, ci),
                 )
@@ -246,6 +269,7 @@ def partition_clusters(
         grain_rectangle = grain_triangle
     units: list[UnitBlock] = []
     next_uid = 0
+    ecol = pattern.element_cols()
     for cluster in clusters:
         if cluster.is_column:
             col_block = cluster.column
@@ -268,12 +292,12 @@ def partition_clusters(
             next_uid += 1
             continue
         tri_units, next_uid = _partition_triangle(
-            pattern, cluster.triangle, grain_triangle, max_parts, next_uid
+            pattern, cluster.triangle, grain_triangle, max_parts, next_uid, ecol
         )
         units.extend(tri_units)
         for ri, rect in enumerate(cluster.rectangles):
             rect_units, next_uid = _partition_rectangle(
-                pattern, rect, ri, grain_rectangle, max_parts, next_uid
+                pattern, rect, ri, grain_rectangle, max_parts, next_uid, ecol
             )
             units.extend(rect_units)
 

@@ -30,7 +30,7 @@ from .blocks import BlockKind
 from .dependencies import DependencyInfo
 from .partitioner import Partition
 
-__all__ = ["SchedulerOptions", "schedule_blocks"]
+__all__ = ["SchedulerOptions", "schedule_blocks", "schedule_blocks_reference"]
 
 _POLICIES = ("first", "least_loaded", "round_robin")
 
@@ -67,7 +67,146 @@ def schedule_blocks(
 
     ``unit_work`` (work units per unit block) drives the increasing-work
     ordering of P_t; it defaults to the units' element counts.
+
+    Fast path of :func:`schedule_blocks_reference` (assignment-identical,
+    asserted by the tests): units come pre-grouped per cluster from the
+    partition instead of a per-cluster scan over all units, and the
+    per-triangle P_a / P_t processor sets are flat arrays — P_a a
+    membership bitmap over the processor ids, P_t the sorted unique
+    triangle processors via ``np.unique`` — instead of Python sets.
     """
+    if nprocs < 1:
+        raise ValueError("nprocs must be positive")
+    options = options or SchedulerOptions()
+    units = partition.units
+    n_units = len(units)
+    if unit_work is None:
+        unit_work = partition.unit_work
+    unit_work = np.asarray(unit_work, dtype=np.float64)
+    if len(unit_work) != n_units:
+        raise ValueError("unit_work must have one entry per unit")
+
+    proc_of_unit = np.full(n_units, -1, dtype=np.int64)
+    proc_work = np.zeros(nprocs, dtype=np.float64)
+    marker = 0  # the "currently available" processor in P_g
+
+    unit_work_l = unit_work.tolist()
+    proc_of_unit_l = proc_of_unit.tolist()
+    proc_work_l = proc_work.tolist()
+
+    independent = deps.independent_units
+    preds = deps.predecessors
+    policy = options.dependent_column_policy
+
+    # --- step 1: independent columns, wrap-around ---------------------
+    wrap_counter = 0
+    is_independent_column = [False] * n_units
+    for u in units:  # units are in left-to-right cluster order
+        if u.kind is BlockKind.COLUMN and independent[u.uid]:
+            p = wrap_counter % nprocs
+            proc_of_unit_l[u.uid] = p
+            proc_work_l[p] += unit_work_l[u.uid]
+            wrap_counter += 1
+            is_independent_column[u.uid] = True
+    obs.counter("scheduler.independent_columns", wrap_counter)
+
+    # --- steps 2-4: scan remaining clusters left to right -------------
+    in_pa = np.zeros(nprocs, dtype=bool)
+    for cluster in partition.clusters:
+        cunits = sorted(
+            partition._units_by_cluster[cluster.index], key=lambda u: u.order_key
+        )
+        if cluster.is_column:
+            u = cunits[0]
+            if is_independent_column[u.uid]:
+                continue
+            pred_procs = [proc_of_unit_l[p] for p in preds[u.uid].tolist()]
+            pred_procs = [p for p in pred_procs if p >= 0]
+            if not pred_procs:
+                chosen = marker
+                marker = (marker + 1) % nprocs
+                obs.counter("scheduler.dependent_column.round_robin")
+            elif policy == "first":
+                chosen = pred_procs[0]
+                obs.counter("scheduler.dependent_column.predecessor")
+            elif policy == "least_loaded":
+                chosen = min(set(pred_procs), key=lambda p: (proc_work_l[p], p))
+                obs.counter("scheduler.dependent_column.predecessor")
+            else:  # round_robin
+                chosen = marker
+                marker = (marker + 1) % nprocs
+                obs.counter("scheduler.dependent_column.round_robin")
+            proc_of_unit_l[u.uid] = chosen
+            proc_work_l[chosen] += unit_work_l[u.uid]
+            continue
+
+        # Multi-column cluster: triangle units first, in order.
+        tri_units = [u for u in cunits if u.parent_kind is BlockKind.TRIANGLE]
+        rect_units = [u for u in cunits if u.parent_kind is BlockKind.RECTANGLE]
+        in_pa[:] = False  # P_a: processors already used in this triangle
+        for u in tri_units:
+            chosen = -1
+            for p_unit in preds[u.uid].tolist():
+                proc = proc_of_unit_l[p_unit]
+                if proc >= 0 and not in_pa[proc]:
+                    chosen = proc
+                    break
+            if chosen < 0:
+                chosen = marker
+                marker = (marker + 1) % nprocs
+                obs.counter("scheduler.triangle.round_robin_fallback")
+            else:
+                obs.counter("scheduler.triangle.pa_hit")
+            in_pa[chosen] = True
+            proc_of_unit_l[u.uid] = chosen
+            proc_work_l[chosen] += unit_work_l[u.uid]
+
+        # Rectangles below: restricted to P_t, in increasing-work order,
+        # re-sorted before each dense rectangle.
+        p_t = np.unique(
+            np.asarray([proc_of_unit_l[u.uid] for u in tri_units], dtype=np.int64)
+        ).tolist()
+        by_rect: dict[int, list] = {}
+        for u in rect_units:
+            by_rect.setdefault(u.order_key[1], []).append(u)
+        for rect_index in sorted(by_rect):
+            ordered_procs = sorted(p_t, key=lambda p: (proc_work_l[p], p))
+            npt = len(ordered_procs)
+            for slot, u in enumerate(sorted(by_rect[rect_index], key=lambda x: x.order_key)):
+                chosen = ordered_procs[slot % npt]
+                proc_of_unit_l[u.uid] = chosen
+                proc_work_l[chosen] += unit_work_l[u.uid]
+        obs.counter("scheduler.rectangle.pt_assigned", len(rect_units))
+
+    proc_of_unit = np.asarray(proc_of_unit_l, dtype=np.int64)
+    proc_work = np.asarray(proc_work_l, dtype=np.float64)
+    if (proc_of_unit < 0).any():  # pragma: no cover - internal invariant
+        raise AssertionError("scheduler left a unit unassigned")
+
+    if obs.is_enabled():
+        obs.counter("scheduler.units_assigned", n_units)
+        obs.gauge("scheduler.proc_work", proc_work.tolist())
+
+    owner = proc_of_unit[partition.unit_of_element]
+    return Assignment(
+        scheme="block",
+        nprocs=nprocs,
+        pattern=partition.pattern,
+        owner_of_element=owner,
+        proc_of_unit=proc_of_unit,
+        partition=partition,
+    )
+
+
+def schedule_blocks_reference(
+    partition: Partition,
+    deps: DependencyInfo,
+    nprocs: int,
+    unit_work: np.ndarray | None = None,
+    options: SchedulerOptions | None = None,
+) -> Assignment:
+    """Reference allocator, kept bit-identical to the pre-vectorization
+    implementation (see :func:`schedule_blocks`)."""
     if nprocs < 1:
         raise ValueError("nprocs must be positive")
     options = options or SchedulerOptions()

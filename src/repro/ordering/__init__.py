@@ -1,7 +1,11 @@
 """Fill-reducing orderings: MMD (the paper's choice), MD, RCM, ND."""
 
 from .amd import approximate_minimum_degree
-from .mmd import minimum_degree, multiple_minimum_degree
+from .mmd import (
+    minimum_degree,
+    multiple_minimum_degree,
+    multiple_minimum_degree_reference,
+)
 from .nested_dissection import nested_dissection
 from .perm import (
     identity_permutation,
@@ -15,6 +19,7 @@ __all__ = [
     "approximate_minimum_degree",
     "minimum_degree",
     "multiple_minimum_degree",
+    "multiple_minimum_degree_reference",
     "nested_dissection",
     "identity_permutation",
     "invert_permutation",
@@ -34,6 +39,19 @@ ORDERINGS = {
     "nd": nested_dissection,
 }
 """Name -> callable registry used by the pipeline and the CLI."""
+
+ORDERING_IMPL_VERSION = {
+    "natural": 1,
+    "mmd": 2,  # 2: bitset/arena quotient-graph rewrite of the set-based MMD
+    "md": 1,
+    "amd": 1,
+    "rcm": 1,
+    "nd": 1,
+}
+"""Per-ordering implementation version, part of the ``prepare()`` disk
+cache key: bump an entry whenever that ordering's implementation changes,
+so warm caches written by the old code are invalidated instead of
+silently reused."""
 
 
 def order(graph, method: str = "mmd"):

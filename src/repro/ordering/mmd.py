@@ -1,32 +1,56 @@
 """Minimum degree orderings.
 
-Two variants are provided:
+Three variants are provided:
 
 * :func:`minimum_degree` — the textbook single-elimination algorithm on
   an explicit elimination graph.
-* :func:`multiple_minimum_degree` — Liu's modified multiple minimum
-  degree (MMD, TOMS 1985), the ordering the paper uses for all of its
-  experiments.  It adds the three classic refinements:
+* :func:`multiple_minimum_degree_reference` — Liu's modified multiple
+  minimum degree (MMD, TOMS 1985) on an explicit elimination graph of
+  Python sets.  Easy to audit, and the executable specification the
+  fast path is asserted against.
+* :func:`multiple_minimum_degree` — the same algorithm on two fast
+  representations, dispatched by problem size.  Up to
+  :data:`_BITSET_MAX_N` unknowns, the elimination graph lives as one
+  Python big integer per row (:func:`_mmd_bitset`): clique unions,
+  reach computation, and indistinguishable-node detection are single
+  C-level bit operations, dead nodes are masked lazily by a global
+  alive bitmask, and merges key an exact closure-bitset dictionary.
+  Beyond that, a GENMMD-style quotient graph in flat numpy arrays takes
+  over: one elbow-room store for variable/element adjacency, element
+  absorption instead of explicit fill, batched reach/degree computation
+  per elimination pass, and supervariable (mass) elimination via
+  indistinguishable-node hashing.  Both return the **identical
+  permutation** to the reference — the pass structure, tie-breaking,
+  and merge order are reproduced exactly, only the data structure
+  differs.
 
-  - **multiple elimination**: an independent set of minimum-degree nodes
-    is eliminated per pass before degrees are recomputed;
-  - **indistinguishable-node merging** (supervariables): nodes with
-    identical closed neighbourhoods are merged and eliminated together;
-  - **external degree**: the degree used for selection counts original
-    variables outside the node's own supervariable.
+Both MMD variants implement the three classic refinements:
 
-Both run on the explicit elimination graph with supervariable weights;
-for the n ~ 1000 problems of the paper this is comfortably fast and much
-easier to audit than a full quotient-graph implementation.
+- **multiple elimination**: an independent set of minimum-degree nodes
+  is eliminated per pass before degrees are recomputed;
+- **indistinguishable-node merging** (supervariables): nodes with
+  identical closed neighbourhoods are merged and eliminated together;
+- **external degree**: the degree used for selection counts original
+  variables outside the node's own supervariable.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..obs import trace as obs
 from ..sparse.pattern import SymmetricGraph
 
-__all__ = ["minimum_degree", "multiple_minimum_degree"]
+__all__ = [
+    "minimum_degree",
+    "multiple_minimum_degree",
+    "multiple_minimum_degree_reference",
+]
+
+#: External-degree sentinel for nodes no longer alive; larger than any
+#: real degree (< n) but far from the int64 overflow line so that
+#: ``sentinel + delta`` is always safe.
+_DEAD = np.int64(1) << 50
 
 
 def _init_adjacency(graph: SymmetricGraph) -> list[set[int]]:
@@ -57,8 +81,10 @@ def minimum_degree(graph: SymmetricGraph) -> np.ndarray:
     return perm
 
 
-def multiple_minimum_degree(graph: SymmetricGraph, delta: int = 0) -> np.ndarray:
-    """Liu's multiple minimum degree ordering.
+def multiple_minimum_degree_reference(
+    graph: SymmetricGraph, delta: int = 0
+) -> np.ndarray:
+    """Liu's multiple minimum degree ordering (set-of-sets reference).
 
     ``delta`` is the multiple-elimination tolerance: nodes whose external
     degree is within ``delta`` of the minimum are eligible in the same
@@ -120,8 +146,6 @@ def multiple_minimum_degree(graph: SymmetricGraph, delta: int = 0) -> np.ndarray
                 members[rep].extend(members[u])
                 weight[rep] += weight[u]
                 alive[u] = False
-                n_remaining_unchanged = True  # members move, none eliminated
-                assert n_remaining_unchanged
                 for w in adj[u]:
                     adj[w].discard(u)
                 adj[u] = set()
@@ -134,3 +158,532 @@ def multiple_minimum_degree(graph: SymmetricGraph, delta: int = 0) -> np.ndarray
     if len(out) != n:  # pragma: no cover - internal invariant
         raise AssertionError("MMD failed to eliminate every variable")
     return out
+
+
+def _ragged_take(data: np.ndarray, starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenate ``data[starts[i] : starts[i] + lens[i]]`` for all ``i``."""
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lens)
+    idx = np.repeat(starts - (ends - lens), lens) + np.arange(total, dtype=np.int64)
+    return data[idx]
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Deterministic 64-bit mixer (splitmix64); used as a content-hash code
+    table so a closure's hash is the wrap-around sum of its members' codes."""
+    z = x.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+class _Store:
+    """Append-only int64 arena with elbow room.
+
+    All adjacency segments (variable lists, element-id lists, element
+    member lists) live in one flat array.  Rewritten segments are appended
+    at ``free``; stale copies are reclaimed by a mark/sweep compaction when
+    a reservation does not fit, and the arena doubles if compaction alone
+    is not enough.
+    """
+
+    __slots__ = ("data", "free")
+
+    def __init__(self, capacity: int) -> None:
+        self.data = np.empty(capacity, dtype=np.int64)
+        self.free = 0
+
+    def reserve(self, need: int, compact) -> None:
+        if self.free + need <= len(self.data):
+            return
+        compact()
+        if self.free + need > len(self.data):
+            cap = max(2 * len(self.data), self.free + need + 64)
+            grown = np.empty(cap, dtype=np.int64)
+            grown[: self.free] = self.data[: self.free]
+            self.data = grown
+
+
+#: Graphs up to this size take the big-int bitset fast path in
+#: :func:`multiple_minimum_degree` (one Python integer per adjacency
+#: row, so per-row cost scales with n/64 words); larger graphs use the
+#: sparse CSR arena, whose cost scales with reach volume instead of n
+#: per row operation.
+_BITSET_MAX_N = 8192
+
+_PACK_SHIFT = 25
+_PACK_MASK = (1 << _PACK_SHIFT) - 1
+
+
+def _mmd_bitset(graph: SymmetricGraph, delta: int = 0) -> np.ndarray:
+    """Bitset MMD fast path: the elimination graph as Python big ints.
+
+    Each variable's adjacency row is one arbitrary-precision integer
+    (bit ``c`` set means adjacency to ``c``), so clique unions, reach
+    extraction and independence blocking are single C-level big-int
+    operations with no per-element interpreter work.  Cleanup is fully
+    lazy: nothing is ever deleted from a row.  Instead a global
+    alive-mask ``G`` loses a bit whenever a variable dies (elimination
+    or merge), and every read masks with ``G`` — a pivot's reach is
+    ``row & G``, and a touched variable's closed neighbourhood at its
+    merge-scan visit is again ``row & G`` (its self bit was set by the
+    clique union, and ``G`` evolves during the scan exactly like the
+    reference's eager deletions).
+
+    Indistinguishable-node (mass) merging needs no hashing or screening
+    at this tier: the masked closure integer itself is the dictionary
+    key, giving the reference's frozen-dictionary semantics verbatim —
+    entries are keyed by the closure value at visit time and are never
+    updated afterwards.  External degrees are ``int.bit_count`` plus a
+    supervariable-weight correction over ``closure & hmask`` (``hmask``
+    flags reps with weight > 1), taken at visit time; a later merge
+    only changes the rep's own degree, which is patched in place.
+    """
+    n = graph.n
+    idx = graph.indices
+    ptr = graph.indptr.tolist()
+    rowbits = np.zeros(n * n, dtype=bool)
+    rowbits[np.repeat(np.arange(n, dtype=np.int64) * n, np.diff(graph.indptr)) + idx] = True
+    packed = np.packbits(rowbits.reshape(n, n), axis=1, bitorder="little")
+    del rowbits
+    nb = packed.shape[1]
+    buf = packed.tobytes()
+    adj = [int.from_bytes(buf[i * nb : (i + 1) * nb], "little") for i in range(n)]
+    del packed, buf
+
+    extnp = np.diff(graph.indptr).astype(np.int64)
+    weight = [1] * n
+    members: list[list[int]] = [[i] for i in range(n)]
+    G = (1 << n) - 1  # alive mask; reads strip dead bits lazily
+    hmask = 0  # bits of supervariables with weight > 1
+    perm: list[int] = []
+    n_remaining = n
+    n_passes = 0
+    n_merged = 0
+    n_absorbed = 0
+    n_mass = 0
+
+    while n_remaining > 0:
+        n_passes += 1
+        threshold = int(extnp.min()) + delta
+        candidates = np.flatnonzero(extnp <= threshold).tolist()
+
+        # Multiple elimination: greedy independent set in index order.
+        # Stale (dead) bits in a row cannot block a candidate, because
+        # candidates are alive.
+        bmask = 0
+        selected = []
+        for v in candidates:
+            if (bmask >> v) & 1:
+                continue
+            selected.append(v)
+            bmask |= adj[v]
+        for v in selected:
+            G ^= 1 << v
+            mv = members[v]
+            perm.extend(mv)
+            n_remaining -= len(mv)
+            if len(mv) > 1:
+                n_mass += 1
+        sel = np.asarray(selected, dtype=np.int64)
+        extnp[sel] = _DEAD
+
+        # Element absorption: each member of pivot v's reach gains the
+        # whole reach (including its own self bit, which doubles as the
+        # closure bit for the merge scan below).  Small reaches walk
+        # their bits directly; large ones decode through unpackbits.
+        nbytes = (n + 7) >> 3
+        tmask = 0
+        for v in selected:
+            reach = adj[v] & G
+            if reach == 0:
+                continue
+            n_absorbed += 1
+            tmask |= reach
+            if reach.bit_count() > 24:
+                hits = np.flatnonzero(
+                    np.unpackbits(
+                        np.frombuffer(
+                            reach.to_bytes(nbytes, "little"), np.uint8
+                        ),
+                        bitorder="little",
+                    )
+                ).tolist()
+                for u in hits:
+                    adj[u] |= reach
+            else:
+                m = reach
+                while m:
+                    b = m & -m
+                    m ^= b
+                    adj[b.bit_length() - 1] |= reach
+
+        if tmask == 0:
+            continue  # all selected pivots were isolated
+
+        # Merge scan in ascending node order.  ``cur`` is the exact
+        # closed neighbourhood at visit time (self bit included, dead
+        # bits masked); equal closures merge, first visitor wins, and
+        # the frozen dict key never changes afterwards.
+        upd_idx: list[int] = []
+        upd_val: list[int] = []
+        merged: list[int] = []
+        closures: dict[int, tuple[int, int]] = {}
+        touched = np.flatnonzero(
+            np.unpackbits(
+                np.frombuffer(tmask.to_bytes(nbytes, "little"), np.uint8),
+                bitorder="little",
+            )
+        ).tolist()
+        for u in touched:
+            cur = adj[u] & G
+            adj[u] = cur
+            hit = closures.get(cur)
+            if hit is None:
+                # External degree at visit time: popcount of the
+                # closure plus supervariable excess, minus own weight.
+                ext = cur.bit_count() - 1
+                hx = cur & hmask
+                if hx:
+                    wu = weight[u]
+                    while hx:
+                        hb = hx & -hx
+                        hx ^= hb
+                        ext += weight[hb.bit_length() - 1] - 1
+                    ext -= wu - 1
+                closures[cur] = (u, len(upd_idx))
+                upd_idx.append(u)
+                upd_val.append(ext)
+                continue
+            rep, rpos = hit
+            n_merged += 1
+            wu = weight[u]
+            members[rep].extend(members[u])
+            weight[rep] += wu
+            upd_val[rpos] -= wu
+            hmask |= 1 << rep
+            G ^= 1 << u
+            merged.append(u)
+
+        extnp[upd_idx] = upd_val
+        if merged:
+            extnp[merged] = _DEAD
+
+    obs.counter("perf.order.passes", n_passes)
+    obs.counter("perf.order.supernodes_merged", n_merged)
+    obs.counter("perf.order.elements_absorbed", n_absorbed)
+    obs.counter("perf.order.mass_eliminations", n_mass)
+    obs.counter("perf.order.compactions", 0)
+    return np.asarray(perm, dtype=np.int64)
+
+
+def multiple_minimum_degree(graph: SymmetricGraph, delta: int = 0) -> np.ndarray:
+    """Array MMD on an elbow-room CSR store; permutation-identical to the
+    reference.
+
+    Every live variable keeps its current elimination-graph adjacency as a
+    sorted CSR row inside one flat int64 arena (:class:`_Store`).  Each
+    elimination pass forms one *element* per pivot (the pivot's reach) and
+    absorbs it eagerly: the rows of all touched variables are rebuilt by a
+    single batched gather / key-sort / dedup over the old rows plus the
+    new elements, then appended to the arena (stale copies are reclaimed
+    by mark/sweep compaction when space runs out).  Rows of untouched
+    variables are never rewritten — dead entries (eliminated pivots and
+    merged supervariables) are filtered lazily on read, which is exact
+    because an untouched variable's reach can only ever lose members.
+
+    External degrees and closure content-hashes are maintained together in
+    one numpy array of packed per-node codes (supervariable weight in the
+    low 25 bits, a 39-bit splitmix64 content code above), so one cumulative
+    sum per pass yields both the exact external degree of every touched
+    variable and the hash of its closed neighbourhood.  Supervariable
+    (mass) elimination uses that hash as an indistinguishability screen:
+    only when two closure hashes collide does an exact sequential replay
+    of the reference's merge loop run, verifying candidate pairs against
+    the frozen closures their dict entries were created with.
+
+    The selection order, tie-breaking, pass structure and merge order of
+    :func:`multiple_minimum_degree_reference` are reproduced exactly; the
+    test suite asserts identical permutations on every bundled matrix.
+    """
+    n = graph.n
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n <= _BITSET_MAX_N:
+        return _mmd_bitset(graph, delta)
+    if n >= (1 << 25):  # pragma: no cover - packed-code capacity guard
+        raise NotImplementedError("packed degree codes require n < 2**25")
+
+    nnz = int(graph.indptr[-1])
+    store = _Store(3 * nnz + 8 * n + 64)
+    store.data[:nnz] = graph.indices
+    store.free = nnz
+
+    row_start = graph.indptr[:-1].astype(np.int64)
+    row_len = np.diff(graph.indptr).astype(np.int64)
+
+    alive = np.ones(n, dtype=bool)
+    weight = np.ones(n, dtype=np.int64)
+    extdeg = row_len.copy()
+
+    # Supervariable member chains: merged nodes are emitted with their rep.
+    head = list(range(n))
+    tail = list(range(n))
+    nxt = [-1] * n
+
+    blocked = np.zeros(n, dtype=np.int64)  # pass-stamped independence mask
+    death_rank = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    f39 = _splitmix64(np.arange(1, n + 1, dtype=np.int64)) >> np.uint64(25)
+    # Packed per-node code: 39-bit content hash above a 25-bit weight
+    # field.  Segment sums of ccode give Σweight exactly in the low bits
+    # (total weight is n < 2**25, and 64-bit wrap-around cannot carry
+    # downward) and a wrap-around content hash above.
+    ccode = (f39 << np.uint64(25)).view(np.int64) + weight
+    _MASK25 = np.int64((1 << 25) - 1)
+    _SALT = np.uint64(0x9E3779B97F4A7C15)
+    _salt_int = 0x9E3779B97F4A7C15
+    _MASK39U = np.uint64((1 << 39) - 1)
+    _mask39 = (1 << 39) - 1
+    _mask64 = (1 << 64) - 1
+
+    perm = np.empty(n, dtype=np.int64)
+    arange_n = np.arange(n + 1, dtype=np.int64)
+    z1 = np.zeros(1, dtype=np.int64)
+    n_plus_1 = np.int64(n + 1)
+    n_eliminated = 0
+    n_passes = 0
+    n_merged = 0
+    n_absorbed = 0
+    n_mass = 0
+    n_compactions = 0
+    any_merged_ever = False
+
+    def compact() -> None:
+        nonlocal n_compactions
+        n_compactions += 1
+        av = np.flatnonzero(alive)
+        lens = row_len[av]
+        packed = _ragged_take(store.data, row_start[av], lens)
+        row_start[av] = np.cumsum(lens) - lens
+        store.data[: len(packed)] = packed
+        store.free = len(packed)
+
+    def replay_merges(touched, vals, starts, ends, keys, h39sums, sizes) -> bool:
+        """Exact sequential merge replay, run only on closure-hash collisions.
+
+        Visits touched nodes in index order like the reference.  Clean
+        nodes reuse the vectorized closure keys; a merge marks every
+        segment containing the dead node dirty (those are exactly the
+        touched nodes in its reach, by symmetry) and dirty keys are
+        recomputed incrementally.  Hash-matched pairs are verified against
+        the exact frozen closure the dict entry was created with.
+        """
+        nonlocal n_merged, any_merged_ever
+        touched_list = touched.tolist()
+        keys_l = keys.tolist()
+        starts_l = starts.tolist()
+        ends_l = ends.tolist()
+        hs = sz = fown = None  # materialized lazily on the first merge
+        dirty: set[int] = set()
+
+        def closure(seg: np.ndarray, self_id: int) -> np.ndarray:
+            out = np.empty(len(seg) + 1, dtype=np.int64)
+            pos = int(np.searchsorted(seg, self_id))
+            out[:pos] = seg[:pos]
+            out[pos] = self_id
+            out[pos + 1 :] = seg[pos:]
+            return out
+
+        buckets: dict[int, list[int]] = {}
+        merged_any = False
+        for rank, u in enumerate(touched_list):
+            if not alive[u]:
+                continue
+            if rank in dirty:
+                key = (
+                    ((hs[rank] + fown[rank]) & _mask39)
+                    + sz[rank] * _salt_int
+                ) & _mask64
+            else:
+                key = keys_l[rank]
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [rank]
+                continue
+            seg_u = vals[starts_l[rank] : ends_l[rank]]
+            cur_u = seg_u[alive[seg_u]]
+            cl_u = closure(cur_u, u)
+            rep = -1
+            for cand in bucket:
+                seg_r = vals[starts_l[cand] : ends_l[cand]]
+                frozen = seg_r[death_rank[seg_r] >= cand]
+                if np.array_equal(cl_u, closure(frozen, touched_list[cand])):
+                    rep = touched_list[cand]
+                    break
+            if rep < 0:
+                bucket.append(rank)
+                continue
+            # u is indistinguishable from rep: merge u into rep.
+            merged_any = True
+            any_merged_ever = True
+            n_merged += 1
+            weight[rep] += weight[u]
+            ccode[rep] += weight[u]
+            nxt[tail[rep]] = head[u]
+            tail[rep] = tail[u]
+            alive[u] = False
+            extdeg[u] = _DEAD
+            death_rank[u] = rank
+            if hs is None:
+                hs = h39sums.tolist()
+                sz = sizes.tolist()
+                fown = f39[touched].tolist()
+            fu = int(f39[u])
+            # Segments containing u are exactly the touched nodes in u's
+            # reach (adjacency snapshots are symmetric).
+            pos = np.searchsorted(touched, cur_u)
+            pos[pos == len(touched_list)] = 0
+            hit = touched[pos] == cur_u
+            for i in pos[hit].tolist():
+                hs[i] = (hs[i] - fu) & _mask39
+                sz[i] -= 1
+                dirty.add(i)
+        return merged_any
+
+    while n_eliminated < n:
+        n_passes += 1
+        threshold = extdeg.min() + delta
+        candidates = np.flatnonzero(extdeg <= threshold)
+        # Independent-set selection in index order, exactly as the
+        # reference: a candidate adjacent to an earlier pivot is blocked.
+        # Raw rows are stamped unfiltered — stale entries are dead nodes,
+        # which are never candidates, so over-stamping them is harmless.
+        rs = row_start[candidates].tolist()
+        rl = row_len[candidates].tolist()
+        data = store.data
+        sel: list[int] = []
+        sel_raw: list[np.ndarray] = []
+        for ci, v in enumerate(candidates.tolist()):
+            if blocked[v] == n_passes:
+                continue
+            raw = data[rs[ci] : rs[ci] + rl[ci]]
+            blocked[raw] = n_passes
+            sel.append(v)
+            sel_raw.append(raw)
+        for v in sel:
+            node = head[v]
+            while node >= 0:
+                perm[n_eliminated] = node
+                n_eliminated += 1
+                node = nxt[node]
+        sel_arr = np.asarray(sel, dtype=np.int64)
+        if any_merged_ever:
+            n_mass += int((weight[sel_arr] > 1).sum())
+        alive[sel_arr] = False
+        extdeg[sel_arr] = _DEAD
+        # Exact reach of each pivot: its row minus dead entries.  Same-pass
+        # pivots are mutually non-adjacent, so the snapshot taken here is
+        # still each pivot's exact adjacency at elimination time.
+        pieces = []
+        for raw in sel_raw:
+            r = raw[alive[raw]]
+            if len(r):
+                pieces.append(r)
+        if not pieces:
+            continue
+        n_absorbed += len(pieces)
+        if len(pieces) == 1:
+            cat = touched = pieces[0]
+        else:
+            cat = np.concatenate(pieces)
+            cat.sort()
+            dup = np.empty(len(cat), dtype=bool)
+            dup[0] = True
+            np.not_equal(cat[1:], cat[:-1], out=dup[1:])
+            touched = cat[dup]
+        k = len(touched)
+        ar_k = arange_n[:k]
+        # One update stream rebuilds every touched row: the old rows plus
+        # each new element crossed with its own members (u gains L_i for
+        # every pivot i whose reach contains u).
+        tlens = row_len[touched]
+        parts_vals = [_ragged_take(data, row_start[touched], tlens)]
+        parts_owner = [np.repeat(ar_k, tlens)]
+        if len(pieces) == 1:
+            parts_vals.append(np.tile(touched, k))
+            parts_owner.append(np.repeat(ar_k, k))
+        elif len(pieces) <= 3:
+            for r in pieces:
+                parts_vals.append(np.tile(r, len(r)))
+                parts_owner.append(np.repeat(np.searchsorted(touched, r), len(r)))
+        else:
+            plens = np.array([len(r) for r in pieces], dtype=np.int64)
+            sq = plens * plens
+            total = int(sq.sum())
+            pcat = np.concatenate(pieces)
+            base = np.cumsum(plens) - plens
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(sq) - sq, sq
+            )
+            parts_vals.append(
+                pcat[np.repeat(base, sq) + within % np.repeat(plens, sq)]
+            )
+            parts_owner.append(
+                np.repeat(np.searchsorted(touched, pcat), np.repeat(plens, plens))
+            )
+        vals = np.concatenate(parts_vals)
+        owners = np.concatenate(parts_owner)
+        keep = alive[vals] & (vals != touched[owners])
+        key = owners[keep] * n_plus_1 + vals[keep]
+        key.sort()
+        if len(key) > 1:
+            mask = np.empty(len(key), dtype=bool)
+            mask[0] = True
+            np.not_equal(key[1:], key[:-1], out=mask[1:])
+            key = key[mask]
+        vals = key % n_plus_1
+        counts = np.bincount(key // n_plus_1, minlength=k)
+        ends = np.cumsum(counts)
+        starts = ends - counts
+        # Append the rebuilt rows to the arena (eager element absorption).
+        store.reserve(len(vals), compact)
+        base = store.free
+        store.data[base : base + len(vals)] = vals
+        row_start[touched] = base + starts
+        row_len[touched] = counts
+        store.free = base + len(vals)
+        # One cumulative sum of the packed codes yields both the external
+        # degrees (low bits) and the closure content hashes (high bits).
+        cumc = np.concatenate([z1, np.cumsum(ccode[vals])])
+        csums = cumc[ends] - cumc[starts]
+        wsums = csums & _MASK25
+        h39sums = csums.view(np.uint64) >> np.uint64(25)
+        sizes = ends - starts
+        closure_key = (
+            (h39sums + f39[touched]) & _MASK39U
+        ) + sizes.view(np.uint64) * _SALT
+        ck = np.sort(closure_key)
+        if len(ck) > 1 and bool((ck[1:] == ck[:-1]).any()):
+            if replay_merges(touched, vals, starts, ends, closure_key, h39sums, sizes):
+                # Merges only remove nodes, so the post-merge reaches are
+                # the pre-merge segments filtered to live entries/owners.
+                live_nodes = alive[touched]
+                owners_flat = np.repeat(ar_k, sizes)
+                keep = alive[vals] & live_nodes[owners_flat]
+                vals = vals[keep]
+                counts = np.bincount(owners_flat[keep], minlength=k)[live_nodes]
+                touched = touched[live_nodes]
+                ends = np.cumsum(counts)
+                starts = ends - counts
+                cumc = np.concatenate([z1, np.cumsum(ccode[vals])])
+                csums = cumc[ends] - cumc[starts]
+                wsums = csums & _MASK25
+        extdeg[touched] = wsums
+    obs.counter("perf.order.passes", n_passes)
+    obs.counter("perf.order.supernodes_merged", n_merged)
+    obs.counter("perf.order.elements_absorbed", n_absorbed)
+    obs.counter("perf.order.mass_eliminations", n_mass)
+    obs.counter("perf.order.compactions", n_compactions)
+    return perm

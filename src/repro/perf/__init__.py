@@ -14,7 +14,14 @@ Three pieces make repeated pipeline evaluations cheap:
 See ``docs/performance.md``.
 """
 
-from .bench import STAGES, bench_pipeline, render_bench
+from .bench import (
+    STAGES,
+    bench_pipeline,
+    compare_reports,
+    find_regressions,
+    render_bench,
+    render_delta,
+)
 from .cache import (
     CACHE_VERSION,
     PrepareCache,
@@ -35,5 +42,8 @@ __all__ = [
     "sweep",
     "STAGES",
     "bench_pipeline",
+    "compare_reports",
+    "find_regressions",
     "render_bench",
+    "render_delta",
 ]

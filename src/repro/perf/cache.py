@@ -32,8 +32,9 @@ import numpy as np
 
 from ..core.pipeline import PreparedMatrix, prepare
 from ..obs import trace as obs
+from ..ordering import ORDERING_IMPL_VERSION
 from ..sparse.pattern import LowerPattern, SymmetricGraph
-from ..symbolic.fill import SymbolicFactor
+from ..symbolic.fill import SYMBOLIC_IMPL_VERSION, SymbolicFactor
 
 __all__ = [
     "CACHE_VERSION",
@@ -57,9 +58,18 @@ def default_cache_dir() -> Path:
 
 
 def prepare_key(graph: SymmetricGraph, ordering: str) -> str:
-    """Content hash identifying one (structure, ordering) prepare result."""
+    """Content hash identifying one (structure, ordering) prepare result.
+
+    Includes the ordering- and symbolic-implementation version tags, so
+    warm caches written by an older kernel are invalidated (treated as
+    misses) rather than silently reused after a rewrite.
+    """
+    impl = ORDERING_IMPL_VERSION.get(ordering, 0)
     h = hashlib.sha256()
-    h.update(f"repro-prepare|v{CACHE_VERSION}|{ordering}|{graph.n}|".encode())
+    h.update(
+        f"repro-prepare|v{CACHE_VERSION}|{ordering}"
+        f"|impl{impl}|sym{SYMBOLIC_IMPL_VERSION}|{graph.n}|".encode()
+    )
     h.update(np.ascontiguousarray(graph.indptr, dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(graph.indices, dtype=np.int64).tobytes())
     return h.hexdigest()

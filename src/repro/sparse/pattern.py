@@ -185,10 +185,18 @@ class LowerPattern:
             raise ValueError("indptr must have length n + 1")
         if self.indptr[0] != 0 or self.indptr[-1] != len(self.rowidx):
             raise ValueError("indptr inconsistent with rowidx")
-        for j in range(self.n):
-            lo = self.indptr[j]
-            if lo == self.indptr[j + 1] or self.rowidx[lo] != j:
-                raise ValueError(f"column {j} is missing its diagonal entry")
+        if self.n:
+            lo = np.asarray(self.indptr[:-1])
+            empty = np.flatnonzero(lo >= np.asarray(self.indptr[1:]))
+            if empty.size:
+                raise ValueError(
+                    f"column {int(empty[0])} is missing its diagonal entry"
+                )
+            bad = np.flatnonzero(
+                np.asarray(self.rowidx)[lo] != np.arange(self.n)
+            )
+            if bad.size:
+                raise ValueError(f"column {int(bad[0])} is missing its diagonal entry")
 
     # ------------------------------------------------------------------
     # constructors

@@ -20,13 +20,17 @@ def etree(graph: SymmetricGraph) -> np.ndarray:
     Runs in nearly O(nnz) using a virtual-ancestor (path halving) array.
     """
     n = graph.n
-    parent = np.full(n, -1, dtype=np.int64)
-    ancestor = np.full(n, -1, dtype=np.int64)
+    # Plain lists: the walk is pointer-chasing, where per-element numpy
+    # indexing costs several times a list access.
+    parent = [-1] * n
+    ancestor = [-1] * n
+    gp = graph.indptr.tolist()
+    gi = graph.indices.tolist()
     for i in range(n):
-        for k in graph.neighbors(i):
-            k = int(k)
-            if k >= i:
-                continue
+        for t in range(gp[i], gp[i + 1]):
+            k = gi[t]
+            if k >= i:  # neighbours are sorted: the lower part is a prefix
+                break
             # Walk from k up to the current root, compressing to i.
             while True:
                 a = ancestor[k]
@@ -36,8 +40,8 @@ def etree(graph: SymmetricGraph) -> np.ndarray:
                 if a == -1:
                     parent[k] = i
                     break
-                k = int(a)
-    return parent
+                k = a
+    return np.asarray(parent, dtype=np.int64)
 
 
 def children_lists(parent: np.ndarray) -> list[list[int]]:

@@ -5,8 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ordering import is_permutation, minimum_degree, multiple_minimum_degree
-from repro.sparse import grid5, grid9, path_graph, star_graph
+from repro.ordering import (
+    is_permutation,
+    minimum_degree,
+    multiple_minimum_degree,
+    multiple_minimum_degree_reference,
+)
+from repro.sparse import band_graph, band_lower_pattern, grid5, grid9, path_graph, star_graph
+from repro.sparse import harwell_boeing as hb
 from repro.sparse.pattern import SymmetricGraph
 from repro.symbolic import fill_in
 
@@ -104,3 +110,67 @@ class TestMultipleMinimumDegree:
         g = random_connected_graph(n, extra, seed)
         f = fill_in(g, multiple_minimum_degree(g))
         assert 0 <= f <= n * (n - 1) // 2
+
+
+class TestMMDIdentity:
+    """The fast MMD must return the identical permutation to the
+    set-based reference — same passes, tie-breaking, and merge order."""
+
+    @pytest.mark.parametrize("name", hb.names())
+    def test_identical_on_paper_matrices(self, name):
+        g = hb.load(name)
+        np.testing.assert_array_equal(
+            multiple_minimum_degree(g), multiple_minimum_degree_reference(g)
+        )
+
+    @pytest.mark.parametrize("delta", [0, 1, 2])
+    def test_identical_on_band_graph(self, delta):
+        g = band_graph(220, 13)
+        np.testing.assert_array_equal(
+            multiple_minimum_degree(g, delta=delta),
+            multiple_minimum_degree_reference(g, delta=delta),
+        )
+
+    def test_identical_on_band_pattern_graph(self):
+        g = band_lower_pattern(150, 9).to_symmetric_graph()
+        np.testing.assert_array_equal(
+            multiple_minimum_degree(g), multiple_minimum_degree_reference(g)
+        )
+
+    @given(
+        st.integers(2, 40),
+        st.integers(0, 60),
+        st.integers(0, 2**31 - 1),
+        st.integers(0, 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_identical_on_random_graphs(self, n, extra, seed, delta):
+        g = random_connected_graph(n, extra, seed)
+        np.testing.assert_array_equal(
+            multiple_minimum_degree(g, delta=delta),
+            multiple_minimum_degree_reference(g, delta=delta),
+        )
+
+    @pytest.mark.parametrize("name", ["DWT512", "CANN1072"])
+    def test_arena_path_identical(self, name, monkeypatch):
+        """Force the CSR-arena path (normally n > _BITSET_MAX_N) and
+        check it too matches the reference."""
+        from repro.ordering import mmd as mmd_mod
+
+        monkeypatch.setattr(mmd_mod, "_BITSET_MAX_N", 0)
+        g = hb.load(name)
+        np.testing.assert_array_equal(
+            multiple_minimum_degree(g), multiple_minimum_degree_reference(g)
+        )
+
+    def test_arena_path_identical_random(self, monkeypatch):
+        from repro.ordering import mmd as mmd_mod
+
+        monkeypatch.setattr(mmd_mod, "_BITSET_MAX_N", 0)
+        for seed in range(6):
+            g = random_connected_graph(30, 45, seed)
+            for delta in (0, 1, 2):
+                np.testing.assert_array_equal(
+                    multiple_minimum_degree(g, delta=delta),
+                    multiple_minimum_degree_reference(g, delta=delta),
+                )

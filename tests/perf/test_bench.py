@@ -1,10 +1,18 @@
 """Bench harness smoke: report structure, fingerprint, rendering."""
 
+import copy
 import json
 
 import pytest
 
-from repro.perf import STAGES, bench_pipeline, render_bench
+from repro.perf import (
+    STAGES,
+    bench_pipeline,
+    compare_reports,
+    find_regressions,
+    render_bench,
+    render_delta,
+)
 from repro.perf.bench import BENCH_SCHEMA_VERSION, SMOKE_MATRICES
 
 
@@ -54,3 +62,63 @@ class TestMatrixSelection:
         report = bench_pipeline(matrices=["LAP30"], out=None)
         assert list(report["matrices"]) == ["LAP30"]
         assert report["smoke"] is False
+
+
+class TestReproducibility:
+    def test_stamp_false_omits_created_unix(self):
+        report = bench_pipeline(smoke=True, out=None, stamp=False)
+        assert "created_unix" not in report
+        assert report["repeats"] == 1
+
+    def test_repeats_recorded(self):
+        report = bench_pipeline(matrices=["LAP30"], out=None, repeats=2)
+        assert report["repeats"] == 2
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        baseline = bench_pipeline(smoke=True, out=None, stamp=False)
+        current = copy.deepcopy(baseline)
+        for entry in current["matrices"].values():
+            entry["stages"] = {k: v / 2 for k, v in entry["stages"].items()}
+            entry["wall_total"] /= 2
+        return current, baseline
+
+    def test_compare_reports_rows(self, reports):
+        current, baseline = reports
+        rows = compare_reports(current, baseline)
+        assert rows, "expected comparable matrices"
+        stages = {r["stage"] for r in rows}
+        assert stages == set(STAGES) | {"wall_total"}
+        for row in rows:
+            assert row["matrix"] in SMOKE_MATRICES
+            if row["baseline_s"] > 0 and row["current_s"] > 0:
+                assert row["speedup"] == pytest.approx(
+                    row["baseline_s"] / row["current_s"]
+                )
+
+    def test_compare_ignores_unshared_matrices(self, reports):
+        current, baseline = reports
+        lonely = copy.deepcopy(current)
+        lonely["matrices"] = {"ONLY_HERE": next(iter(current["matrices"].values()))}
+        assert compare_reports(lonely, baseline) == []
+
+    def test_no_regressions_when_faster(self, reports):
+        current, baseline = reports
+        assert find_regressions(current, baseline) == []
+
+    def test_regression_detected_beyond_threshold(self, reports):
+        current, baseline = reports
+        slow = copy.deepcopy(baseline)
+        entry = next(iter(slow["matrices"].values()))
+        entry["stages"]["order"] *= 10.0
+        found = find_regressions(slow, baseline, threshold=0.25)
+        assert found and any("order" in msg for msg in found)
+
+    def test_render_delta(self, reports):
+        current, baseline = reports
+        text = render_delta(current, baseline)
+        assert "speedup" in text
+        assert "wall_total" in text
+        assert render_delta(current, {"matrices": {}}).startswith("(no comparable")

@@ -14,7 +14,8 @@ import time
 import numpy as np
 import pytest
 
-from repro.sparse import band_lower_pattern
+from repro.ordering import multiple_minimum_degree, multiple_minimum_degree_reference
+from repro.sparse import band_graph, band_lower_pattern
 from repro.symbolic import enumerate_updates, enumerate_updates_reference
 
 #: Keep in sync with benchmarks/bench_updates_vectorized.py.
@@ -45,4 +46,20 @@ def test_vectorized_5x_on_benchmark_band_matrix():
     assert speedup >= 5.0, (
         f"vectorized enumerate_updates only {speedup:.1f}x faster than the "
         f"reference ({t_fast:.3f}s vs {t_ref:.3f}s, best of 3)"
+    )
+
+
+@pytest.mark.slow
+def test_mmd_5x_on_benchmark_band_graph():
+    """The bitset MMD beats the set-based reference >= 5x on the same
+    benchmark band matrix, returning the identical permutation."""
+    graph = band_graph(BENCH_BAND_N, BENCH_BAND_W)
+    t_ref, ref = best_of(multiple_minimum_degree_reference, graph, rounds=2)
+    t_fast, fast = best_of(multiple_minimum_degree, graph, rounds=3)
+
+    np.testing.assert_array_equal(fast, ref)
+    speedup = t_ref / t_fast
+    assert speedup >= 5.0, (
+        f"bitset MMD only {speedup:.1f}x faster than the reference "
+        f"({t_fast:.3f}s vs {t_ref:.3f}s)"
     )

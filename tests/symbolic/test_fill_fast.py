@@ -1,0 +1,92 @@
+"""Fast symbolic factorization and GNP column counts vs their references.
+
+The fast :func:`symbolic_cholesky` pre-sizes its CSC buffers from
+Gilbert–Ng–Peyton column counts and scatters entries in one row-subtree
+walk; both it and :func:`column_counts` must be array-for-array identical
+to the original merge/traversal implementations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import multiple_minimum_degree
+from repro.sparse import band_graph, grid9
+from repro.sparse import harwell_boeing as hb
+from repro.sparse.pattern import SymmetricGraph
+from repro.symbolic.colcount import (
+    column_counts,
+    column_counts_reference,
+    gnp_column_counts,
+)
+from repro.symbolic.etree import etree
+from repro.symbolic.fill import symbolic_cholesky, symbolic_cholesky_reference
+
+from ..conftest import random_connected_graph
+
+
+def assert_factor_identical(graph, perm=None):
+    fast = symbolic_cholesky(graph, perm)
+    ref = symbolic_cholesky_reference(graph, perm)
+    assert fast.pattern == ref.pattern
+    np.testing.assert_array_equal(fast.parent, ref.parent)
+    np.testing.assert_array_equal(fast.perm, ref.perm)
+
+
+class TestSymbolicIdentity:
+    @pytest.mark.parametrize("name", hb.names())
+    def test_paper_matrices(self, name):
+        g = hb.load(name)
+        assert_factor_identical(g, multiple_minimum_degree(g))
+
+    def test_natural_order(self):
+        g = grid9(12, 12)
+        assert_factor_identical(g)
+
+    def test_band(self):
+        assert_factor_identical(band_graph(300, 17))
+
+    def test_empty(self):
+        assert_factor_identical(SymmetricGraph.empty(0))
+        assert_factor_identical(SymmetricGraph.empty(7))
+
+    @given(st.integers(1, 40), st.integers(0, 70), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed)
+        assert_factor_identical(g)
+        assert_factor_identical(g, multiple_minimum_degree(g))
+
+
+class TestGNPColumnCounts:
+    @pytest.mark.parametrize("name", hb.names())
+    def test_paper_matrices(self, name):
+        g = hb.load(name)
+        perm = multiple_minimum_degree(g)
+        np.testing.assert_array_equal(
+            column_counts(g, perm), column_counts_reference(g, perm)
+        )
+
+    def test_matches_factor_counts(self):
+        g = grid9(10, 10)
+        perm = multiple_minimum_degree(g)
+        factor = symbolic_cholesky(g, perm)
+        np.testing.assert_array_equal(
+            column_counts(g, perm), np.diff(factor.pattern.indptr)
+        )
+
+    def test_gnp_on_permuted_graph(self):
+        g = band_graph(120, 7)
+        parent = etree(g)
+        np.testing.assert_array_equal(
+            gnp_column_counts(g, parent), column_counts_reference(g)
+        )
+
+    @given(st.integers(1, 40), st.integers(0, 70), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs(self, n, extra, seed):
+        g = random_connected_graph(n, extra, seed)
+        np.testing.assert_array_equal(
+            column_counts(g), column_counts_reference(g)
+        )
