@@ -32,7 +32,7 @@ from .analysis import (
 _TARGETS = ["table1", "table2", "table3", "table4", "table5",
             "figure1", "figure2", "figure3", "figure4"]
 _EXTRA_TARGETS = ["stats", "report", "claims", "sweep", "scorecard", "compare",
-                  "bench"]
+                  "bench", "bench-sweep"]
 
 
 def _int_list(text: str) -> tuple[int, ...]:
@@ -96,6 +96,7 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             min_widths=args.min_widths,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            reuse=not args.no_reuse,
         )
         if args.json:
             text = json.dumps([dataclasses.asdict(r) for r in records], indent=2)
@@ -111,8 +112,9 @@ def _emit(target: str, args: argparse.Namespace) -> str:
 
         from .perf import bench_pipeline, find_regressions, render_bench, render_delta
 
+        out = args.bench_out or "BENCH_pipeline.json"
         baseline = None
-        baseline_path = args.bench_baseline or args.bench_out
+        baseline_path = args.bench_baseline or out
         try:
             with open(baseline_path) as fh:
                 baseline = json.load(fh)
@@ -123,10 +125,10 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             nprocs=args.nprocs,
             grain=args.grain,
             smoke=args.smoke,
-            out=args.bench_out,
+            out=out,
             repeats=args.bench_repeats,
         )
-        text = render_bench(report) + f"\nreport written to {args.bench_out}"
+        text = render_bench(report) + f"\nreport written to {out}"
         if baseline is not None:
             text += "\n\ndelta vs baseline " + str(baseline_path) + ":\n"
             text += render_delta(report, baseline)
@@ -139,6 +141,30 @@ def _emit(target: str, args: argparse.Namespace) -> str:
                         + " (stage >25% slower than baseline):\n  "
                         + "\n  ".join(regressions)
                     )
+        return text
+    if target == "bench-sweep":
+        import json
+
+        from .perf import bench_sweep, render_sweep_bench, render_sweep_delta
+
+        out = args.bench_out or "BENCH_sweep.json"
+        baseline = None
+        baseline_path = args.bench_baseline or out
+        try:
+            with open(baseline_path) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError):
+            baseline = None
+        report = bench_sweep(
+            matrices=args.bench_matrices,
+            smoke=args.smoke,
+            out=out,
+            repeats=args.bench_repeats,
+        )
+        text = render_sweep_bench(report) + f"\nreport written to {out}"
+        if baseline is not None:
+            text += "\n\ndelta vs baseline " + str(baseline_path) + ":\n"
+            text += render_sweep_delta(report, baseline)
         return text
     if target == "scorecard":
         from .analysis import render_table
@@ -258,7 +284,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(block, block-adaptive, wrap)")
     parser.add_argument("--procs", type=_int_list, default=(4, 16, 32),
                         metavar="P1,P2,...",
-                        help="with 'sweep': processor counts of the grid")
+                        help="with 'sweep': processor counts of the grid "
+                             "(the paper sweeps 16-1024, e.g. "
+                             "--procs 16,64,256,1024; staged reuse measures "
+                             "all of them from one partition)")
     parser.add_argument("--grains", type=_int_list, default=(4, 25),
                         metavar="G1,G2,...",
                         help="with 'sweep': grain sizes of the grid")
@@ -267,10 +296,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="with 'sweep': minimum cluster widths of the grid")
     parser.add_argument("--json", action="store_true",
                         help="with 'sweep': emit JSON records instead of CSV")
+    parser.add_argument("--no-reuse", action="store_true",
+                        help="with 'sweep': disable staged reuse and run one "
+                             "full pipeline per grid cell (the reference "
+                             "decomposition; values are identical either way)")
     parser.add_argument("--smoke", action="store_true",
-                        help="with 'bench': tiny generated matrices (CI mode)")
-    parser.add_argument("--bench-out", default="BENCH_pipeline.json", metavar="FILE",
-                        help="with 'bench': where to write the JSON report")
+                        help="with 'bench'/'bench-sweep': tiny problems (CI mode)")
+    parser.add_argument("--bench-out", default=None, metavar="FILE",
+                        help="with 'bench'/'bench-sweep': where to write the "
+                             "JSON report (default BENCH_pipeline.json / "
+                             "BENCH_sweep.json)")
     parser.add_argument("--bench-baseline", default=None, metavar="FILE",
                         help="with 'bench': baseline report for the delta "
                              "table (default: the pre-existing --bench-out "

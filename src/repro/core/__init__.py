@@ -16,11 +16,16 @@ from .partitioner import Partition, chunk_bounds, partition_clusters, partition_
 from .adaptive import adaptive_schedule
 from .pipeline import (
     MappingResult,
+    PartitionedMatrix,
     PreparedMatrix,
     adaptive_block_mapping,
+    adaptive_block_mappings,
     block_mapping,
+    block_mappings,
+    partition_prepared,
     prepare,
     wrap_mapping,
+    wrap_mappings,
 )
 from .scheduler import SchedulerOptions, schedule_blocks
 from .variants import schedule_affinity, schedule_lpt, unit_edge_volumes
@@ -54,12 +59,17 @@ __all__ = [
     "partition_clusters",
     "partition_factor",
     "MappingResult",
+    "PartitionedMatrix",
     "PreparedMatrix",
     "adaptive_block_mapping",
+    "adaptive_block_mappings",
     "adaptive_schedule",
     "block_mapping",
+    "block_mappings",
+    "partition_prepared",
     "prepare",
     "wrap_mapping",
+    "wrap_mappings",
     "SchedulerOptions",
     "schedule_blocks",
     "schedule_affinity",

@@ -25,7 +25,20 @@ from ..sparse.pattern import LowerPattern
 from .blocks import BlockKind, DenseBlock, UnitBlock
 from .clusters import ClusterSet, find_clusters
 
-__all__ = ["Partition", "partition_factor", "partition_clusters", "chunk_bounds"]
+__all__ = [
+    "PARTITION_IMPL_VERSION",
+    "Partition",
+    "partition_factor",
+    "partition_clusters",
+    "chunk_bounds",
+]
+
+#: Version tag of the partition + dependency stage semantics.  Bump it
+#: whenever :func:`partition_factor`, :func:`find_clusters` or
+#: :func:`repro.core.dependencies.analyze_dependencies` change their
+#: output, so disk-cached partition entries written by the old kernel
+#: are invalidated (treated as misses) rather than silently reused.
+PARTITION_IMPL_VERSION = 1
 
 
 def chunk_bounds(lo: int, hi: int, parts: int) -> list[tuple[int, int]]:

@@ -29,11 +29,16 @@ from .wrap import wrap_assignment
 
 __all__ = [
     "PreparedMatrix",
+    "PartitionedMatrix",
     "MappingResult",
     "prepare",
+    "partition_prepared",
     "block_mapping",
+    "block_mappings",
     "adaptive_block_mapping",
+    "adaptive_block_mappings",
     "wrap_mapping",
+    "wrap_mappings",
 ]
 
 
@@ -59,6 +64,18 @@ class PreparedMatrix:
         obs.counter("pipeline.pair_updates", len(out.target))
         return out
 
+    @cached_property
+    def read_index(self):
+        """Source-sorted read list of the factorization (assignment
+        invariant; lets :mod:`repro.machine.batched` measure many owner
+        arrays in one pass)."""
+        from ..machine.batched import build_read_index
+
+        with obs.span("pipeline.read_index", matrix=self.name):
+            out = build_read_index(self.updates)
+        obs.counter("pipeline.stage.read_index")
+        return out
+
     @property
     def factor_nnz(self) -> int:
         return self.pattern.nnz
@@ -79,6 +96,70 @@ def prepare(graph: SymmetricGraph, ordering: str = "mmd", name: str = "") -> Pre
             symbolic = symbolic_cholesky(graph, perm)
         obs.counter("pipeline.stage.symbolic")
     return PreparedMatrix(name=label, graph=graph, perm=np.asarray(perm), symbolic=symbolic)
+
+
+@dataclass
+class PartitionedMatrix:
+    """A prepared matrix carried through the processor-count-invariant
+    mapping stages.
+
+    Partitioning, dependency analysis and per-unit work depend only on
+    (structure, ordering, grain, min_width) — never on the processor
+    count — so one ``PartitionedMatrix`` serves every ``nprocs`` cell of
+    a sweep grid (see :func:`block_mappings`).
+    """
+
+    prepared: PreparedMatrix
+    partition: Partition
+    dependencies: DependencyInfo
+    unit_work: np.ndarray
+    grain: int
+    min_width: int
+    zero_tolerance: float = 0.0
+    grain_rectangle: int | None = None
+
+    @property
+    def pattern(self) -> LowerPattern:
+        return self.prepared.pattern
+
+    @property
+    def updates(self) -> UpdateSet:
+        return self.prepared.updates
+
+
+def partition_prepared(
+    prepared: PreparedMatrix,
+    grain: int = 4,
+    min_width: int = 4,
+    zero_tolerance: float = 0.0,
+    grain_rectangle: int | None = None,
+) -> PartitionedMatrix:
+    """Run the nprocs-invariant stages once: partition + dependencies +
+    unit work.  The result feeds :func:`block_mappings` for any number
+    of processor counts."""
+    with obs.span("pipeline.partition", matrix=prepared.name, grain=grain):
+        partition = partition_factor(
+            prepared.pattern,
+            grain=grain,
+            min_width=min_width,
+            zero_tolerance=zero_tolerance,
+            grain_rectangle=grain_rectangle,
+        )
+    obs.counter("pipeline.stage.partition")
+    updates = prepared.updates
+    with obs.span("pipeline.dependencies", matrix=prepared.name):
+        deps = analyze_dependencies(partition, updates)
+    obs.counter("pipeline.stage.dependencies")
+    return PartitionedMatrix(
+        prepared=prepared,
+        partition=partition,
+        dependencies=deps,
+        unit_work=unit_work(partition, updates),
+        grain=grain,
+        min_width=min_width,
+        zero_tolerance=zero_tolerance,
+        grain_rectangle=grain_rectangle,
+    )
 
 
 @dataclass
@@ -203,3 +284,157 @@ def wrap_mapping(
             balance = load_balance(processor_work(assignment, updates))
         obs.counter("pipeline.stage.metrics")
     return MappingResult(prepared, assignment, traffic, balance)
+
+
+# ----------------------------------------------------------------------
+# multi-P entry points: one invariant prefix, K processor counts
+# ----------------------------------------------------------------------
+
+
+def _batched_results(
+    prepared: PreparedMatrix,
+    assignments: list[Assignment],
+    include_scale_traffic: bool,
+    partition: Partition | None = None,
+    dependencies: DependencyInfo | None = None,
+    partitions: list[Partition] | None = None,
+) -> list[MappingResult]:
+    """Measure K assignments with the batched kernel and wrap them as
+    :class:`MappingResult` rows (value-identical to the per-cell path)."""
+    from ..machine.batched import batched_metrics
+
+    updates = prepared.updates
+    read_index = prepared.read_index if include_scale_traffic else None
+    with obs.span(
+        "pipeline.metrics", matrix=prepared.name, cells=len(assignments)
+    ):
+        metrics = batched_metrics(
+            updates,
+            assignments,
+            read_index=read_index,
+            include_scale=include_scale_traffic,
+        )
+    obs.counter("pipeline.stage.metrics", len(assignments))
+    out = []
+    for k, (assignment, (traffic, balance)) in enumerate(zip(assignments, metrics)):
+        part = partitions[k] if partitions is not None else partition
+        out.append(
+            MappingResult(prepared, assignment, traffic, balance, part, dependencies)
+        )
+    return out
+
+
+def block_mappings(
+    partitioned: PartitionedMatrix,
+    procs,
+    options: SchedulerOptions | None = None,
+    include_scale_traffic: bool = True,
+) -> list[MappingResult]:
+    """Measure the block mapping at every processor count in ``procs``.
+
+    The nprocs-invariant stages (partition, dependencies, unit work)
+    come precomputed on ``partitioned``; only the scheduler runs per
+    processor count, and all cells share one batched metrics pass.
+    Each result is value-identical to :func:`block_mapping` at the same
+    parameters.
+    """
+    prepared = partitioned.prepared
+    assignments = []
+    with obs.span(
+        "pipeline.block_mappings",
+        matrix=prepared.name,
+        grain=partitioned.grain,
+        cells=len(tuple(procs)),
+    ):
+        for nprocs in procs:
+            with obs.span("pipeline.schedule", matrix=prepared.name, nprocs=nprocs):
+                assignments.append(
+                    schedule_blocks(
+                        partitioned.partition,
+                        partitioned.dependencies,
+                        nprocs,
+                        unit_work=partitioned.unit_work,
+                        options=options,
+                    )
+                )
+            obs.counter("pipeline.stage.schedule")
+        return _batched_results(
+            prepared,
+            assignments,
+            include_scale_traffic,
+            partition=partitioned.partition,
+            dependencies=partitioned.dependencies,
+        )
+
+
+def wrap_mappings(
+    prepared: PreparedMatrix,
+    procs,
+    include_scale_traffic: bool = True,
+) -> list[MappingResult]:
+    """Measure the wrap-mapped baseline at every processor count in
+    ``procs`` with one batched metrics pass (value-identical to
+    :func:`wrap_mapping` per cell)."""
+    assignments = []
+    with obs.span(
+        "pipeline.wrap_mappings", matrix=prepared.name, cells=len(tuple(procs))
+    ):
+        for nprocs in procs:
+            assignments.append(wrap_assignment(prepared.pattern, nprocs))
+            obs.counter("pipeline.stage.schedule")
+        return _batched_results(prepared, assignments, include_scale_traffic)
+
+
+def adaptive_block_mappings(
+    prepared: PreparedMatrix,
+    procs,
+    grain: int = 4,
+    min_width: int = 4,
+    zero_tolerance: float = 0.0,
+    options: SchedulerOptions | None = None,
+    include_scale_traffic: bool = True,
+) -> list[MappingResult]:
+    """Measure the adaptive (interleaved) mapping at every processor
+    count in ``procs``.
+
+    The adaptive partition itself depends on the processor count
+    (parameter (a)), so only the metrics pass is shared; each cell's
+    traffic/balance is value-identical to :func:`adaptive_block_mapping`.
+    Dependency analysis is skipped here (``MappingResult.dependencies``
+    is ``None``) — it is not needed for the sweep metrics and can be
+    re-derived with :func:`analyze_dependencies` when wanted.
+    """
+    from .adaptive import adaptive_schedule
+
+    updates = prepared.updates
+    assignments = []
+    partitions = []
+    with obs.span(
+        "pipeline.adaptive_block_mappings",
+        matrix=prepared.name,
+        grain=grain,
+        cells=len(tuple(procs)),
+    ):
+        for nprocs in procs:
+            with obs.span(
+                "pipeline.adaptive_schedule", matrix=prepared.name, nprocs=nprocs
+            ):
+                partition, assignment = adaptive_schedule(
+                    prepared.pattern,
+                    updates,
+                    nprocs,
+                    grain=grain,
+                    min_width=min_width,
+                    zero_tolerance=zero_tolerance,
+                    options=options,
+                )
+            obs.counter("pipeline.stage.partition")
+            obs.counter("pipeline.stage.schedule")
+            assignments.append(assignment)
+            partitions.append(partition)
+        return _batched_results(
+            prepared,
+            assignments,
+            include_scale_traffic,
+            partitions=partitions,
+        )

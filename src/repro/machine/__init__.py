@@ -1,5 +1,12 @@
 """Distributed-memory machine model: work, traffic, balance, timing."""
 
+from .batched import (
+    ReadIndex,
+    batched_load_balance,
+    batched_metrics,
+    batched_traffic,
+    build_read_index,
+)
 from .hotspot import HotspotProfile, hotspot_profile
 from .metrics import LoadBalance, imbalance_factor, load_balance
 from .simulate import (
@@ -11,10 +18,15 @@ from .simulate import (
 )
 from .scorecard import scorecard
 from .solve_metrics import solve_balance, solve_traffic, solve_work
-from .traffic import TrafficResult, communication_matrix, data_traffic
-from .work import processor_work, total_work, unit_work
+from .traffic import TrafficResult, communication_matrix, data_traffic, data_traffic_reference
+from .work import processor_work, processor_work_reference, total_work, unit_work
 
 __all__ = [
+    "ReadIndex",
+    "batched_load_balance",
+    "batched_metrics",
+    "batched_traffic",
+    "build_read_index",
     "HotspotProfile",
     "hotspot_profile",
     "LoadBalance",
@@ -32,7 +44,9 @@ __all__ = [
     "TrafficResult",
     "communication_matrix",
     "data_traffic",
+    "data_traffic_reference",
     "processor_work",
+    "processor_work_reference",
     "total_work",
     "unit_work",
 ]

@@ -1,0 +1,230 @@
+"""Batched multi-assignment metrics kernel.
+
+The paper's experimental grid measures one fixed structure under many
+processor counts and mapping schemes.  Traffic accounting is the
+per-cell bottleneck: :func:`repro.machine.traffic.data_traffic` dedups
+the (processor, source element) read pairs with one ``np.unique`` over
+int64 keys of magnitude ``nprocs * nnz`` — and a K-cell sweep pays that
+sort K times even though the *source side* of every read is identical
+across cells.
+
+This module batches the K evaluations into one pass:
+
+1. the read list (source element, reading element) is materialized once
+   per :class:`~repro.symbolic.updates.UpdateSet` and **pre-sorted by
+   source** (:class:`ReadIndex`, cached on ``PreparedMatrix``);
+2. the K owner arrays, stacked ``(K, nnz)``, are gathered to per-read
+   processor ids and offset into disjoint ranges (assignment k occupies
+   processors ``offset[k] .. offset[k] + nprocs[k]``), so one stable
+   sort on that single small-range key orders all K cells by
+   (cell, processor, source) at once — and the key fits ``int16`` for
+   any realistic grid, where numpy's stable sort is a radix sort;
+3. duplicates are adjacent after the sort, so distinct non-local
+   fetches fall out of one segmented-dedup mask and a single
+   ``np.bincount``.
+
+The per-assignment paths (:func:`~repro.machine.traffic.data_traffic`,
+:func:`~repro.machine.work.processor_work`) are kept as the reference
+implementations; the test suite asserts array-for-array identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..obs import trace as obs
+from ..symbolic.updates import UpdateSet
+from .metrics import LoadBalance, load_balance
+from .traffic import TrafficResult
+
+__all__ = [
+    "ReadIndex",
+    "build_read_index",
+    "batched_traffic",
+    "batched_load_balance",
+    "batched_metrics",
+]
+
+
+@dataclass(frozen=True)
+class ReadIndex:
+    """The assignment-invariant read list of a factorization, sorted by
+    source element.
+
+    ``src[r]`` is the element id read by the r-th access and
+    ``reader[r]`` the element id whose owner performs it (the update's
+    target, or the element itself for diagonal/scale reads).  ``src`` is
+    ascending, which is what lets the batched kernel finish with a
+    stable sort on the processor key alone.
+    """
+
+    include_scale: bool
+    src: np.ndarray
+    reader: np.ndarray
+
+    @property
+    def num_reads(self) -> int:
+        return len(self.src)
+
+
+def build_read_index(updates: UpdateSet, include_scale: bool = True) -> ReadIndex:
+    """Materialize and source-sort the read list of ``updates``.
+
+    Every pair update reads two off-diagonal sources on behalf of its
+    target; ``include_scale`` adds one diagonal read per element,
+    matching the flag of :func:`~repro.machine.traffic.data_traffic`.
+    """
+    srcs = [updates.source_i, updates.source_j]
+    readers = [updates.target, updates.target]
+    if include_scale:
+        srcs.append(updates.scale_source)
+        readers.append(np.arange(updates.pattern.nnz, dtype=np.int64))
+    src = np.concatenate(srcs)
+    reader = np.concatenate(readers)
+    order = np.argsort(src, kind="stable")
+    return ReadIndex(
+        include_scale=include_scale,
+        src=np.ascontiguousarray(src[order]),
+        reader=np.ascontiguousarray(reader[order]),
+    )
+
+
+def _stack_owners(owners) -> np.ndarray:
+    owners = list(owners)
+    if not owners:
+        return np.empty((0, 0), dtype=np.int64)
+    arr = np.stack([np.asarray(o, dtype=np.int64) for o in owners])
+    if arr.ndim != 2:
+        raise ValueError("owners must stack to a (K, nnz) array")
+    return arr
+
+
+def _proc_key_dtype(total_procs: int):
+    """Smallest signed dtype holding the offset processor key; int16
+    keeps numpy's stable sort on the radix path."""
+    if total_procs <= np.iinfo(np.int16).max:
+        return np.int16
+    if total_procs <= np.iinfo(np.int32).max:
+        return np.int32
+    return np.int64
+
+
+def batched_traffic(
+    updates: UpdateSet,
+    owners,
+    nprocs: Sequence[int],
+    read_index: ReadIndex | None = None,
+    include_scale: bool = True,
+) -> list[TrafficResult]:
+    """Distinct non-local fetches per processor for K owner arrays at
+    once; value-identical to K :func:`data_traffic` calls.
+
+    ``owners`` stacks to ``(K, nnz)`` and ``nprocs[k]`` is the processor
+    count of assignment k (the counts may differ across k).
+    """
+    owners = _stack_owners(owners)
+    nprocs = np.asarray(nprocs, dtype=np.int64)
+    if len(nprocs) != len(owners):
+        raise ValueError("need one processor count per owner array")
+    if read_index is None:
+        read_index = build_read_index(updates, include_scale)
+    elif read_index.include_scale != include_scale:
+        raise ValueError(
+            "read index was built with include_scale="
+            f"{read_index.include_scale}, requested {include_scale}"
+        )
+    k_count = len(owners)
+    offsets = np.concatenate([[0], np.cumsum(nprocs)])
+    total_procs = int(offsets[-1])
+    reads = read_index.num_reads
+    if reads == 0 or k_count == 0:
+        return [
+            TrafficResult(np.zeros(int(p), dtype=np.int64)) for p in nprocs
+        ]
+
+    # One small-range key per read per cell: cell k's processors occupy
+    # the disjoint range [offsets[k], offsets[k+1]), so sorting the flat
+    # key groups by (cell, processor) — and the stable sort keeps the
+    # pre-sorted sources ascending inside every group.  Offsetting and
+    # narrowing before the (K, reads) gather keeps the big intermediate
+    # at the key dtype instead of int64.
+    shifted = (owners + offsets[:-1, None]).astype(
+        _proc_key_dtype(total_procs), copy=False
+    )
+    flat = shifted[:, read_index.reader].ravel()
+    order = np.argsort(flat, kind="stable")
+    p = flat[order]
+    s = np.tile(read_index.src, k_count)[order]
+
+    first = np.empty(len(p), dtype=bool)
+    first[0] = True
+    first[1:] = (p[1:] != p[:-1]) | (s[1:] != s[:-1])
+
+    # Only distinct (processor, source) pairs can count, so the cell
+    # recovery (ranges are disjoint) and the local-read test — fetches
+    # of elements the reader owns — run on the deduped rows alone.
+    p_f = p[first].astype(np.int64)
+    s_f = s[first]
+    k_of = np.searchsorted(offsets[1:], p_f, side="right")
+    nonlocal_mask = owners[k_of, s_f] != (p_f - offsets[k_of])
+    counts = np.bincount(p_f[nonlocal_mask], minlength=total_procs)
+    obs.counter("machine.batched.cells", k_count)
+    return [
+        TrafficResult(counts[offsets[k] : offsets[k + 1]].astype(np.int64))
+        for k in range(k_count)
+    ]
+
+
+def batched_load_balance(
+    updates: UpdateSet, owners, nprocs: Sequence[int]
+) -> list[LoadBalance]:
+    """Owner-computes work distribution for K owner arrays in one
+    weighted bincount; value-identical to K :func:`processor_work` +
+    :func:`load_balance` calls."""
+    owners = _stack_owners(owners)
+    nprocs = np.asarray(nprocs, dtype=np.int64)
+    if len(nprocs) != len(owners):
+        raise ValueError("need one processor count per owner array")
+    if len(owners) == 0:
+        return []
+    offsets = np.concatenate([[0], np.cumsum(nprocs)])
+    ew = updates.element_work().astype(np.float64)
+    work = np.bincount(
+        (owners + offsets[:-1, None]).ravel(),
+        weights=np.broadcast_to(ew, owners.shape).ravel(),
+        minlength=int(offsets[-1]),
+    )
+    return [
+        load_balance(work[offsets[k] : offsets[k + 1]].astype(np.int64))
+        for k in range(len(owners))
+    ]
+
+
+def batched_metrics(
+    updates: UpdateSet,
+    assignments,
+    read_index: ReadIndex | None = None,
+    include_scale: bool = True,
+) -> list[tuple[TrafficResult, LoadBalance]]:
+    """Traffic and load balance for K assignments of one structure.
+
+    All assignments must map the same pattern the updates were
+    enumerated on; their processor counts may differ.
+    """
+    assignments = list(assignments)
+    nnz = updates.pattern.nnz
+    for a in assignments:
+        if len(a.owner_of_element) != nnz:
+            raise ValueError(
+                f"assignment {a.scheme!r} maps {len(a.owner_of_element)} "
+                f"elements, updates cover {nnz}"
+            )
+    owners = [a.owner_of_element for a in assignments]
+    nprocs = [a.nprocs for a in assignments]
+    with obs.span("machine.batched_metrics", cells=len(assignments)):
+        traffic = batched_traffic(updates, owners, nprocs, read_index, include_scale)
+        balance = batched_load_balance(updates, owners, nprocs)
+    return list(zip(traffic, balance))

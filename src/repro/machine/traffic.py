@@ -20,7 +20,12 @@ import numpy as np
 from ..core.assignment import Assignment
 from ..symbolic.updates import UpdateSet
 
-__all__ = ["TrafficResult", "data_traffic", "communication_matrix"]
+__all__ = [
+    "TrafficResult",
+    "data_traffic",
+    "data_traffic_reference",
+    "communication_matrix",
+]
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,11 @@ def data_traffic(
     nonlocal_mask = owner[src] != proc
     per_proc = np.bincount(proc[nonlocal_mask], minlength=assignment.nprocs)
     return TrafficResult(per_proc.astype(np.int64))
+
+
+#: The per-assignment path; :mod:`repro.machine.batched` evaluates K
+#: assignments in one pass and is asserted value-identical to this.
+data_traffic_reference = data_traffic
 
 
 def communication_matrix(

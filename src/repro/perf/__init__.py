@@ -2,48 +2,70 @@
 
 Three pieces make repeated pipeline evaluations cheap:
 
-* :mod:`repro.perf.cache` — a content-addressed, versioned disk cache
+* :mod:`repro.perf.cache` — content-addressed, versioned disk caches
   for :func:`repro.core.pipeline.prepare` results (ordering + symbolic
-  factorization), with ``perf.cache.hit``/``perf.cache.miss`` counters;
-* :mod:`repro.perf.sweep` — a parameter-grid runner fanning
-  ``block_mapping``/``wrap_mapping`` cells over a process pool while
-  sharing one prepared matrix per matrix through the cache;
+  factorization; ``perf.cache.hit``/``perf.cache.miss`` counters) and
+  for the partition/dependency stage
+  (``perf.cache.partition.*`` counters);
+* :mod:`repro.perf.sweep` — a parameter-grid runner with staged reuse:
+  cells sharing a (matrix, scheme, grain, width) run as one group that
+  partitions once and measures every processor count through the
+  batched metrics kernel, fanned out over a process pool;
 * :mod:`repro.perf.bench` — the per-stage timing harness behind
-  ``BENCH_pipeline.json`` and the CI smoke-bench step.
+  ``BENCH_pipeline.json``/``BENCH_sweep.json`` and the CI smoke-bench
+  steps.
 
 See ``docs/performance.md``.
 """
 
 from .bench import (
     STAGES,
+    SWEEP_BENCH_GRID,
     bench_pipeline,
+    bench_sweep,
     compare_reports,
+    compare_sweep_reports,
     find_regressions,
     render_bench,
     render_delta,
+    render_sweep_bench,
+    render_sweep_delta,
 )
 from .cache import (
     CACHE_VERSION,
+    PartitionCache,
     PrepareCache,
+    cached_partition,
     cached_prepare,
     default_cache_dir,
+    partition_key,
     prepare_key,
 )
-from .sweep import SweepTask, build_grid, sweep
+from .sweep import SweepGroup, SweepTask, build_grid, group_grid, sweep
 
 __all__ = [
     "CACHE_VERSION",
+    "PartitionCache",
     "PrepareCache",
+    "cached_partition",
     "cached_prepare",
     "default_cache_dir",
+    "partition_key",
     "prepare_key",
+    "SweepGroup",
     "SweepTask",
     "build_grid",
+    "group_grid",
     "sweep",
     "STAGES",
+    "SWEEP_BENCH_GRID",
     "bench_pipeline",
+    "bench_sweep",
     "compare_reports",
+    "compare_sweep_reports",
     "find_regressions",
     "render_bench",
     "render_delta",
+    "render_sweep_bench",
+    "render_sweep_delta",
 ]

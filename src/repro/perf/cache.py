@@ -30,7 +30,16 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.pipeline import PreparedMatrix, prepare
+from ..core.blocks import BlockKind, DenseBlock, UnitBlock
+from ..core.clusters import Cluster, ClusterSet
+from ..core.dependencies import DependencyInfo
+from ..core.partitioner import PARTITION_IMPL_VERSION, Partition
+from ..core.pipeline import (
+    PartitionedMatrix,
+    PreparedMatrix,
+    partition_prepared,
+    prepare,
+)
 from ..obs import trace as obs
 from ..ordering import ORDERING_IMPL_VERSION
 from ..sparse.pattern import LowerPattern, SymmetricGraph
@@ -39,9 +48,12 @@ from ..symbolic.fill import SYMBOLIC_IMPL_VERSION, SymbolicFactor
 __all__ = [
     "CACHE_VERSION",
     "PrepareCache",
+    "PartitionCache",
     "cached_prepare",
+    "cached_partition",
     "default_cache_dir",
     "prepare_key",
+    "partition_key",
 ]
 
 #: Bump whenever the on-disk payload layout or the semantics of any
@@ -148,6 +160,320 @@ class PrepareCache:
                 raise
         obs.counter("perf.cache.store")
         return path
+
+
+def partition_key(
+    graph: SymmetricGraph, ordering: str, grain: int, min_width: int
+) -> str:
+    """Content hash identifying one partition + dependency result.
+
+    Layered on :func:`prepare_key` (so it inherits the structure hash
+    and the ordering/symbolic impl tags) plus the partition parameters
+    and :data:`~repro.core.partitioner.PARTITION_IMPL_VERSION`, the
+    partition/dependency stage's own impl-version tag.
+    """
+    h = hashlib.sha256()
+    h.update(
+        f"repro-partition|v{CACHE_VERSION}|impl{PARTITION_IMPL_VERSION}"
+        f"|g{grain}|w{min_width}|".encode()
+    )
+    h.update(prepare_key(graph, ordering).encode())
+    return h.hexdigest()
+
+
+_KIND_CODES = {BlockKind.COLUMN: 0, BlockKind.TRIANGLE: 1, BlockKind.RECTANGLE: 2}
+_KIND_OF_CODE = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+class PartitionCache:
+    """Disk cache for the nprocs-invariant partition/dependency stage.
+
+    Maps (structure, ordering, grain, min_width) to the
+    :class:`~repro.core.pipeline.PartitionedMatrix` payload: unit
+    blocks, cluster geometry, dependency edges and per-unit work.  Unit
+    element lists are *not* stored — they are regrouped from
+    ``unit_of_element`` on load (element ids are ascending within every
+    unit, so the regrouping is exact).  Only the default
+    ``zero_tolerance == 0`` / ``grain_rectangle is None`` configuration
+    is cacheable; anything else bypasses this cache.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.part.npz"
+
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        prepared: PreparedMatrix,
+        grain: int,
+        min_width: int,
+        ordering: str = "mmd",
+    ) -> PartitionedMatrix | None:
+        """Return the cached partition stage, or ``None`` on any miss."""
+        key = partition_key(prepared.graph, ordering, grain, min_width)
+        path = self.path_for(key)
+        with obs.span(
+            "perf.cache.partition.load", key=key[:12], matrix=prepared.name
+        ):
+            try:
+                with np.load(path) as data:
+                    if int(data["version"]) != CACHE_VERSION:
+                        raise ValueError("cache version mismatch")
+                    if int(data["impl"]) != PARTITION_IMPL_VERSION:
+                        raise ValueError("partition impl version mismatch")
+                    payload = {name: np.asarray(data[name]) for name in data.files}
+                partitioned = self._rebuild(prepared, grain, min_width, payload)
+            except (OSError, KeyError, ValueError, IndexError, zipfile.BadZipFile) as exc:
+                if not isinstance(exc, FileNotFoundError):
+                    obs.counter("perf.cache.partition.invalid")
+                obs.counter("perf.cache.partition.miss")
+                return None
+        obs.counter("perf.cache.partition.hit")
+        return partitioned
+
+    def _rebuild(
+        self,
+        prepared: PreparedMatrix,
+        grain: int,
+        min_width: int,
+        data: dict,
+    ) -> PartitionedMatrix:
+        pattern = prepared.pattern
+        unit_of_element = data["unit_of_element"].astype(np.int64)
+        if len(unit_of_element) != pattern.nnz:
+            raise ValueError("cache payload covers a different element count")
+        u_kind = data["u_kind"].astype(np.int64)
+        u_cluster = data["u_cluster"].astype(np.int64)
+        u_extents = data["u_extents"].astype(np.int64)
+        u_parent = data["u_parent"].astype(np.int64)
+        u_order = data["u_order"].astype(np.int64)
+        n_units = len(u_kind)
+        if unit_of_element.size and (
+            unit_of_element.min() < 0 or unit_of_element.max() >= n_units
+        ):
+            raise ValueError("cache payload has out-of-range unit ids")
+
+        # Element lists regrouped from the ownership array: a stable
+        # argsort keeps ids ascending inside every unit, exactly as the
+        # partitioner emitted them.
+        order = np.argsort(unit_of_element, kind="stable")
+        bounds = np.searchsorted(
+            unit_of_element[order], np.arange(n_units + 1, dtype=np.int64)
+        )
+        units = [
+            UnitBlock(
+                uid=u,
+                kind=_KIND_OF_CODE[int(u_kind[u])],
+                cluster=int(u_cluster[u]),
+                col_lo=int(u_extents[u, 0]),
+                col_hi=int(u_extents[u, 1]),
+                row_lo=int(u_extents[u, 2]),
+                row_hi=int(u_extents[u, 3]),
+                elements=order[bounds[u] : bounds[u + 1]],
+                parent_kind=_KIND_OF_CODE[int(u_parent[u])],
+                order_key=tuple(int(x) for x in u_order[u]),
+            )
+            for u in range(n_units)
+        ]
+
+        c_col_lo = data["c_col_lo"].astype(np.int64)
+        c_col_hi = data["c_col_hi"].astype(np.int64)
+        c_is_col = data["c_is_col"].astype(bool)
+        c_tri_pad = data["c_tri_pad"].astype(np.int64)
+        c_rect_pad = data["c_rect_pad"].astype(np.int64)
+        c_col_row_hi = data["c_col_row_hi"].astype(np.int64)
+        rect_indptr = data["rect_indptr"].astype(np.int64)
+        rect_rows = data["rect_rows"].astype(np.int64).reshape(-1, 2)
+        clusters = []
+        for i in range(len(c_col_lo)):
+            lo, hi = int(c_col_lo[i]), int(c_col_hi[i])
+            if c_is_col[i]:
+                clusters.append(
+                    Cluster(
+                        i, lo, hi, None, (),
+                        column=DenseBlock(
+                            BlockKind.COLUMN, i, lo, hi, lo, int(c_col_row_hi[i])
+                        ),
+                        triangle_padding=int(c_tri_pad[i]),
+                        rectangle_padding=int(c_rect_pad[i]),
+                    )
+                )
+                continue
+            rects = tuple(
+                DenseBlock(BlockKind.RECTANGLE, i, lo, hi, int(r0), int(r1))
+                for r0, r1 in rect_rows[rect_indptr[i] : rect_indptr[i + 1]]
+            )
+            clusters.append(
+                Cluster(
+                    i, lo, hi,
+                    DenseBlock(BlockKind.TRIANGLE, i, lo, hi, lo, hi),
+                    rects,
+                    triangle_padding=int(c_tri_pad[i]),
+                    rectangle_padding=int(c_rect_pad[i]),
+                )
+            )
+        cluster_set = ClusterSet(pattern, tuple(clusters), min_width, 0.0)
+
+        partition = Partition(
+            pattern=pattern,
+            clusters=cluster_set,
+            units=units,
+            unit_of_element=unit_of_element,
+            grain_triangle=grain,
+            grain_rectangle=int(data["grain_rectangle"]),
+        )
+        edges = data["edges"].astype(np.int64).reshape(-1, 2)
+        category_counts = dict(
+            zip(
+                data["cat_keys"].astype(np.int64).tolist(),
+                data["cat_vals"].astype(np.int64).tolist(),
+            )
+        )
+        dependencies = DependencyInfo(
+            partition, edges, category_counts, bool(data["dep_include_scale"])
+        )
+        return PartitionedMatrix(
+            prepared=prepared,
+            partition=partition,
+            dependencies=dependencies,
+            unit_work=data["unit_work"].astype(np.int64),
+            grain=grain,
+            min_width=min_width,
+        )
+
+    def store(
+        self,
+        prepared: PreparedMatrix,
+        partitioned: PartitionedMatrix,
+        ordering: str = "mmd",
+    ) -> Path:
+        """Persist the partition stage atomically (write-temp + rename)."""
+        key = partition_key(
+            prepared.graph, ordering, partitioned.grain, partitioned.min_width
+        )
+        path = self.path_for(key)
+        partition = partitioned.partition
+        units = partition.units
+        clusters = partition.clusters
+        rect_counts = [
+            0 if c.is_column else len(c.rectangles) for c in clusters
+        ]
+        rect_rows = np.asarray(
+            [
+                (r.row_lo, r.row_hi)
+                for c in clusters
+                if not c.is_column
+                for r in c.rectangles
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        with obs.span(
+            "perf.cache.partition.store", key=key[:12], matrix=prepared.name
+        ):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(
+                        fh,
+                        version=np.int64(CACHE_VERSION),
+                        impl=np.int64(PARTITION_IMPL_VERSION),
+                        grain=np.int64(partitioned.grain),
+                        min_width=np.int64(partitioned.min_width),
+                        grain_rectangle=np.int64(partition.grain_rectangle),
+                        unit_of_element=partition.unit_of_element,
+                        u_kind=np.asarray(
+                            [_KIND_CODES[u.kind] for u in units], dtype=np.int64
+                        ),
+                        u_cluster=np.asarray(
+                            [u.cluster for u in units], dtype=np.int64
+                        ),
+                        u_extents=np.asarray(
+                            [
+                                (u.col_lo, u.col_hi, u.row_lo, u.row_hi)
+                                for u in units
+                            ],
+                            dtype=np.int64,
+                        ).reshape(-1, 4),
+                        u_parent=np.asarray(
+                            [_KIND_CODES[u.parent_kind] for u in units],
+                            dtype=np.int64,
+                        ),
+                        u_order=np.asarray(
+                            [u.order_key for u in units], dtype=np.int64
+                        ).reshape(-1, 5),
+                        c_col_lo=np.asarray(
+                            [c.col_lo for c in clusters], dtype=np.int64
+                        ),
+                        c_col_hi=np.asarray(
+                            [c.col_hi for c in clusters], dtype=np.int64
+                        ),
+                        c_is_col=np.asarray(
+                            [c.is_column for c in clusters], dtype=bool
+                        ),
+                        c_tri_pad=np.asarray(
+                            [c.triangle_padding for c in clusters], dtype=np.int64
+                        ),
+                        c_rect_pad=np.asarray(
+                            [c.rectangle_padding for c in clusters], dtype=np.int64
+                        ),
+                        c_col_row_hi=np.asarray(
+                            [
+                                c.column.row_hi if c.is_column else -1
+                                for c in clusters
+                            ],
+                            dtype=np.int64,
+                        ),
+                        rect_indptr=np.concatenate(
+                            [[0], np.cumsum(rect_counts)]
+                        ).astype(np.int64),
+                        rect_rows=rect_rows,
+                        edges=partitioned.dependencies.edges,
+                        cat_keys=np.asarray(
+                            list(partitioned.dependencies.category_counts),
+                            dtype=np.int64,
+                        ),
+                        cat_vals=np.asarray(
+                            list(partitioned.dependencies.category_counts.values()),
+                            dtype=np.int64,
+                        ),
+                        dep_include_scale=np.bool_(
+                            partitioned.dependencies.include_scale
+                        ),
+                        unit_work=np.asarray(partitioned.unit_work, dtype=np.int64),
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        obs.counter("perf.cache.partition.store")
+        return path
+
+
+def cached_partition(
+    prepared: PreparedMatrix,
+    grain: int = 4,
+    min_width: int = 4,
+    ordering: str = "mmd",
+    cache_dir: str | Path | None = None,
+) -> PartitionedMatrix:
+    """:func:`repro.core.pipeline.partition_prepared` through the disk
+    cache.
+
+    A hit skips the partition and dependency-analysis stages entirely; a
+    miss runs them and stores the result for the next caller.
+    """
+    cache = PartitionCache(cache_dir)
+    hit = cache.load(prepared, grain, min_width, ordering)
+    if hit is not None:
+        return hit
+    partitioned = partition_prepared(prepared, grain=grain, min_width=min_width)
+    cache.store(prepared, partitioned, ordering)
+    return partitioned
 
 
 def cached_prepare(

@@ -1,24 +1,36 @@
 """Parallel parameter sweeps over the mapping pipeline.
 
 The paper's methodology is a grid of (scheme, grain, width, processor
-count) cells measured over a fixed sparsity structure.  The expensive
-stages — ordering, symbolic factorization — are invariant across the
-grid, so this module splits the work accordingly:
+count) cells measured over a fixed sparsity structure.  Most of the
+pipeline is invariant across that grid, so this module splits the work
+along the invariance boundaries:
 
-1. every distinct matrix is prepared **once** and shared through the
-   :mod:`repro.perf.cache` disk cache;
-2. the grid cells fan out over a :class:`concurrent.futures`
-   process pool (``jobs`` workers), each worker loading the shared
-   prepared matrix from the cache on its first task;
-3. results come back as the same :class:`~repro.analysis.sweep.SweepRecord`
+1. every distinct matrix is prepared **once** (ordering + symbolic) and
+   shared through the :mod:`repro.perf.cache` disk cache;
+2. with staged reuse (the default), cells are grouped into one
+   :class:`SweepGroup` per (matrix, scheme, grain, min_width): the
+   partition/dependency/unit-work stage runs once per group (disk-cached
+   via :func:`repro.perf.cache.cached_partition` when a cache directory
+   is in play) and the per-``nprocs`` metrics are evaluated by the
+   batched kernel (:mod:`repro.machine.batched`) in a single pass;
+3. groups fan out over a :class:`concurrent.futures` process pool
+   (``jobs`` workers), each worker loading the shared prepared matrix
+   from the cache on its first task;
+4. results come back as the same :class:`~repro.analysis.sweep.SweepRecord`
    rows the serial harness produces, in deterministic grid order, so
-   ``jobs=8`` and ``jobs=1`` are value-identical.
+   ``jobs=8``/``jobs=1`` and ``reuse``/``no-reuse`` are value-identical.
+
+A failed cell is retried once in the parent process; if the retry fails
+too, :func:`sweep` raises with the failing cell's label — results are
+never silently dropped.
 
 Observability: the fan-out runs under a ``perf.sweep.run`` span, each
-task lands on the recorder as a ``perf.sweep`` timeline event (serial
-tasks also get real ``perf.sweep.task`` spans), worker cache traffic is
-aggregated into ``perf.cache.hit``/``perf.cache.miss``, and pool
-efficiency is reported via the ``perf.sweep.pool_utilization`` gauge.
+submitted task lands on the recorder as a ``perf.sweep`` timeline event
+(serial tasks also get real ``perf.sweep.task`` / ``perf.sweep.group``
+spans), worker cache traffic is aggregated into integer
+``perf.cache.hit``/``perf.cache.miss`` counters, per-``nprocs`` stage
+reuse is counted by ``perf.sweep.reuse.hit``, and pool efficiency is
+reported via the ``perf.sweep.pool_utilization`` gauge.
 """
 
 from __future__ import annotations
@@ -31,17 +43,22 @@ from pathlib import Path
 
 from ..analysis.sweep import SweepRecord, _record
 from ..core.pipeline import (
+    PartitionedMatrix,
     PreparedMatrix,
     adaptive_block_mapping,
+    adaptive_block_mappings,
     block_mapping,
+    block_mappings,
+    partition_prepared,
     prepare,
     wrap_mapping,
+    wrap_mappings,
 )
 from ..obs import trace as obs
 from ..sparse import harwell_boeing as hb
-from .cache import cached_prepare
+from .cache import cached_partition, cached_prepare
 
-__all__ = ["SweepTask", "build_grid", "sweep"]
+__all__ = ["SweepGroup", "SweepTask", "build_grid", "group_grid", "sweep"]
 
 _SCHEMES = ("block", "block-adaptive", "wrap")
 
@@ -61,6 +78,31 @@ class SweepTask:
         bits = [self.matrix, self.scheme, f"P={self.nprocs}"]
         if self.grain is not None:
             bits.append(f"g={self.grain}")
+        return " ".join(bits)
+
+
+@dataclass(frozen=True)
+class SweepGroup:
+    """All cells sharing one (matrix, scheme, grain, width) stage chain.
+
+    ``procs`` are the group's processor counts in grid order and
+    ``indices`` the matching positions in the flat task list, so grouped
+    execution can scatter its records back into grid order.
+    """
+
+    matrix: str
+    scheme: str
+    grain: int | None
+    min_width: int | None
+    ordering: str
+    procs: tuple[int, ...]
+    indices: tuple[int, ...]
+
+    def label(self) -> str:
+        bits = [self.matrix, self.scheme]
+        if self.grain is not None:
+            bits.append(f"g={self.grain}")
+        bits.append("P=" + ",".join(str(p) for p in self.procs))
         return " ".join(bits)
 
 
@@ -96,12 +138,48 @@ def build_grid(
     return tasks
 
 
+def group_grid(tasks: list[SweepTask]) -> list[SweepGroup]:
+    """Group grid cells by their nprocs-invariant stage parameters.
+
+    Cells differing only in processor count share ordering, symbolic
+    factorization, partitioning and dependency analysis; one group is
+    one unit of parallel work under staged reuse.
+    """
+    order: list[tuple] = []
+    members: dict[tuple, list[tuple[int, SweepTask]]] = {}
+    for index, task in enumerate(tasks):
+        key = (task.matrix, task.scheme, task.grain, task.min_width, task.ordering)
+        if key not in members:
+            members[key] = []
+            order.append(key)
+        members[key].append((index, task))
+    groups = []
+    for key in order:
+        matrix, scheme, grain, width, ordering = key
+        cells = members[key]
+        groups.append(
+            SweepGroup(
+                matrix=matrix,
+                scheme=scheme,
+                grain=grain,
+                min_width=width,
+                ordering=ordering,
+                procs=tuple(t.nprocs for _, t in cells),
+                indices=tuple(i for i, _ in cells),
+            )
+        )
+    return groups
+
+
 # ----------------------------------------------------------------------
 # task execution (runs in workers; module-level for picklability)
 # ----------------------------------------------------------------------
 
 #: Per-process memo so one worker prepares/loads each matrix only once.
 _WORKER_PREPARED: dict[tuple[str, str], PreparedMatrix] = {}
+
+#: Per-process memo for the partition/dependency stage (block scheme).
+_WORKER_PARTITIONED: dict[tuple[str, str, int, int], PartitionedMatrix] = {}
 
 
 def _prepared(
@@ -120,11 +198,29 @@ def _prepared(
     return memo[key]
 
 
+def _partitioned(
+    prep: PreparedMatrix,
+    ordering: str,
+    grain: int,
+    min_width: int,
+    cache_dir: str | None,
+    memo: dict[tuple[str, str, int, int], PartitionedMatrix],
+) -> PartitionedMatrix:
+    key = (prep.name, ordering, grain, min_width)
+    if key not in memo:
+        if cache_dir is None:
+            memo[key] = partition_prepared(prep, grain=grain, min_width=min_width)
+        else:
+            memo[key] = cached_partition(prep, grain, min_width, ordering, cache_dir)
+    return memo[key]
+
+
 def _measure(
     task: SweepTask,
     cache_dir: str | None,
     memo: dict[tuple[str, str], PreparedMatrix],
 ) -> SweepRecord:
+    """The reuse-free reference path: one full cell, no stage sharing."""
     prep = _prepared(task.matrix, task.ordering, cache_dir, memo)
     if task.scheme == "wrap":
         result = wrap_mapping(prep, task.nprocs)
@@ -136,18 +232,61 @@ def _measure(
     return _record(prep, result, task.nprocs, task.grain, task.min_width)
 
 
+def _measure_group(
+    group: SweepGroup,
+    cache_dir: str | None,
+    memo: dict[tuple[str, str], PreparedMatrix],
+    part_memo: dict[tuple[str, str, int, int], PartitionedMatrix],
+) -> list[SweepRecord]:
+    """One staged-reuse group: shared stages once, batched metrics."""
+    prep = _prepared(group.matrix, group.ordering, cache_dir, memo)
+    if group.scheme == "wrap":
+        results = wrap_mappings(prep, group.procs)
+    elif group.scheme == "block":
+        partitioned = _partitioned(
+            prep, group.ordering, group.grain, group.min_width, cache_dir, part_memo
+        )
+        results = block_mappings(partitioned, group.procs)
+    else:
+        results = adaptive_block_mappings(
+            prep, group.procs, grain=group.grain, min_width=group.min_width
+        )
+    if len(group.procs) > 1:
+        # Cells beyond the first ride on the group's shared stages.
+        obs.counter("perf.sweep.reuse.hit", len(group.procs) - 1)
+    return [
+        _record(prep, result, nprocs, group.grain, group.min_width)
+        for result, nprocs in zip(results, group.procs)
+    ]
+
+
+def _worker_stats(rec: obs.Recorder, t0: float) -> dict:
+    return {
+        "elapsed": time.perf_counter() - t0,
+        "cache_hit": int(rec.counters.get("perf.cache.hit", 0)),
+        "cache_miss": int(rec.counters.get("perf.cache.miss", 0)),
+        "reuse_hit": int(rec.counters.get("perf.sweep.reuse.hit", 0)),
+    }
+
+
 def _run_task(payload) -> tuple[int, SweepRecord, dict]:
     """Worker entry: run one cell under a scoped recorder, report stats."""
     index, task, cache_dir = payload
     t0 = time.perf_counter()
     with obs.enabled(obs.Recorder()) as rec:
         record = _measure(task, cache_dir, _WORKER_PREPARED)
-    stats = {
-        "elapsed": time.perf_counter() - t0,
-        "cache_hit": rec.counters.get("perf.cache.hit", 0),
-        "cache_miss": rec.counters.get("perf.cache.miss", 0),
-    }
-    return index, record, stats
+    return index, record, _worker_stats(rec, t0)
+
+
+def _run_group(payload) -> tuple[int, list[SweepRecord], dict]:
+    """Worker entry: run one staged-reuse group, report stats."""
+    gindex, group, cache_dir = payload
+    t0 = time.perf_counter()
+    with obs.enabled(obs.Recorder()) as rec:
+        records = _measure_group(
+            group, cache_dir, _WORKER_PREPARED, _WORKER_PARTITIONED
+        )
+    return gindex, records, _worker_stats(rec, t0)
 
 
 # ----------------------------------------------------------------------
@@ -162,33 +301,74 @@ def sweep(
     ordering: str = "mmd",
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    reuse: bool = True,
 ) -> list[SweepRecord]:
     """Measure every grid cell, fanning out over ``jobs`` processes.
 
     ``matrices`` is an iterable of registry names (see
     :data:`repro.sparse.harwell_boeing.PAPER_MATRICES`).  With
-    ``jobs <= 1`` everything runs in-process; with ``jobs > 1`` cells are
-    distributed over a process pool, sharing one prepared matrix per
-    matrix through the disk cache (an ephemeral cache directory is used
-    when ``cache_dir`` is ``None``).  Records always come back in grid
-    order with values identical to the serial path.
+    ``reuse`` (the default) cells are grouped per (matrix, scheme,
+    grain, width): the nprocs-invariant stages run once per group and
+    all of the group's processor counts are measured by the batched
+    metrics kernel; ``reuse=False`` keeps the one-cell-per-task
+    reference decomposition.  With ``jobs <= 1`` everything runs
+    in-process; with ``jobs > 1`` work is distributed over a process
+    pool, sharing one prepared matrix per matrix through the disk cache
+    (an ephemeral cache directory is used when ``cache_dir`` is
+    ``None``).  A failed task is retried once in the parent; a second
+    failure raises :class:`RuntimeError` naming the task.  Records
+    always come back in grid order with values identical to the serial,
+    reuse-free path.
     """
     matrices = list(matrices)
     tasks = build_grid(matrices, schemes, procs, grains, min_widths, ordering)
     cache_str = str(cache_dir) if cache_dir is not None else None
     if jobs <= 1:
-        memo: dict[tuple[str, str], PreparedMatrix] = {}
-        records = []
-        with obs.span("perf.sweep.run", tasks=len(tasks), jobs=1):
+        return _sweep_serial(tasks, cache_str, reuse)
+    return _sweep_parallel(matrices, tasks, ordering, jobs, cache_str, reuse)
+
+
+def _sweep_serial(
+    tasks: list[SweepTask], cache_str: str | None, reuse: bool
+) -> list[SweepRecord]:
+    memo: dict[tuple[str, str], PreparedMatrix] = {}
+    with obs.span("perf.sweep.run", tasks=len(tasks), jobs=1):
+        if not reuse:
+            records = []
             for task in tasks:
                 with obs.span("perf.sweep.task", label=task.label()):
                     records.append(_measure(task, cache_str, memo))
-        return records
+            return records
+        part_memo: dict[tuple[str, str, int, int], PartitionedMatrix] = {}
+        results: list[SweepRecord | None] = [None] * len(tasks)
+        for group in group_grid(tasks):
+            with obs.span(
+                "perf.sweep.group", label=group.label(), cells=len(group.procs)
+            ):
+                group_records = _measure_group(group, cache_str, memo, part_memo)
+            for index, record in zip(group.indices, group_records):
+                results[index] = record
+    return _collect(results, tasks)
 
+
+def _sweep_parallel(
+    matrices,
+    tasks: list[SweepTask],
+    ordering: str,
+    jobs: int,
+    cache_str: str | None,
+    reuse: bool,
+) -> list[SweepRecord]:
     tmp = None
     if cache_str is None:
         tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-cache-")
         cache_str = tmp.name
+    if reuse:
+        units = [(g.label(), g) for g in group_grid(tasks)]
+        runner, retry = _run_group, _retry_group
+    else:
+        units = [(t.label(), t) for t in tasks]
+        runner, retry = _run_task, _retry_task
     try:
         with obs.span("perf.sweep.run", tasks=len(tasks), jobs=jobs):
             # Prepare (or re-load) each matrix once up front so workers
@@ -198,22 +378,42 @@ def sweep(
             t_epoch = time.perf_counter()
             results: list[SweepRecord | None] = [None] * len(tasks)
             busy = 0.0
-            hits = 0.0
-            misses = 0.0
+            hits = 0
+            misses = 0
+            reuse_hits = 0
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    pool.submit(_run_task, (i, task, cache_str))
-                    for i, task in enumerate(tasks)
-                ]
+                futures = {
+                    pool.submit(runner, (i, unit, cache_str)): i
+                    for i, (_, unit) in enumerate(units)
+                }
                 for future in as_completed(futures):
-                    index, record, stats = future.result()
-                    results[index] = record
+                    try:
+                        index, payload, stats = future.result()
+                    except Exception:
+                        # Retry the failed unit once, in-process; a
+                        # second failure raises with the unit's label.
+                        index = futures[future]
+                        t0 = time.perf_counter()
+                        payload = retry(units[index], cache_str)
+                        stats = {
+                            "elapsed": time.perf_counter() - t0,
+                            "cache_hit": 0,
+                            "cache_miss": 0,
+                            "reuse_hit": 0,
+                        }
+                    if reuse:
+                        group = units[index][1]
+                        for slot, record in zip(group.indices, payload):
+                            results[slot] = record
+                    else:
+                        results[index] = payload
                     busy += stats["elapsed"]
                     hits += stats["cache_hit"]
                     misses += stats["cache_miss"]
+                    reuse_hits += stats["reuse_hit"]
                     done_at = time.perf_counter() - t_epoch
                     obs.timeline_event(
-                        f"sweep {tasks[index].label()}",
+                        f"sweep {units[index][0]}",
                         ts=max(0.0, done_at - stats["elapsed"]),
                         dur=stats["elapsed"],
                         lane=index % jobs,
@@ -225,13 +425,43 @@ def sweep(
                 obs.counter("perf.cache.hit", hits)
             if misses:
                 obs.counter("perf.cache.miss", misses)
+            if reuse_hits:
+                obs.counter("perf.sweep.reuse.hit", reuse_hits)
             obs.counter("perf.sweep.tasks", len(tasks))
             obs.gauge("perf.sweep.jobs", jobs)
             obs.gauge(
                 "perf.sweep.pool_utilization",
                 busy / (jobs * wall) if wall > 0 else 0.0,
             )
-        return [r for r in results if r is not None]
+        return _collect(results, tasks)
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+
+def _retry_task(unit: tuple[str, SweepTask], cache_str: str | None) -> SweepRecord:
+    label, task = unit
+    try:
+        return _measure(task, cache_str, {})
+    except Exception as exc:
+        raise RuntimeError(f"sweep task {label!r} failed after retry") from exc
+
+
+def _retry_group(
+    unit: tuple[str, SweepGroup], cache_str: str | None
+) -> list[SweepRecord]:
+    label, group = unit
+    try:
+        return _measure_group(group, cache_str, {}, {})
+    except Exception as exc:
+        raise RuntimeError(f"sweep group {label!r} failed after retry") from exc
+
+
+def _collect(
+    results: list[SweepRecord | None], tasks: list[SweepTask]
+) -> list[SweepRecord]:
+    """Assemble grid-order records; a hole means a bug, never drop it."""
+    missing = [tasks[i].label() for i, r in enumerate(results) if r is None]
+    if missing:
+        raise RuntimeError(f"sweep produced no record for: {', '.join(missing)}")
+    return results

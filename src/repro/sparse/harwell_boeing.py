@@ -16,6 +16,7 @@ All structures are deterministic (fixed seeds).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable
 
 from .generators import (
@@ -105,8 +106,14 @@ def names() -> list[str]:
     return list(PAPER_MATRICES)
 
 
+@lru_cache(maxsize=None)
 def load(name: str) -> SymmetricGraph:
-    """Build the named test structure (see :data:`PAPER_MATRICES`)."""
+    """Build the named test structure (see :data:`PAPER_MATRICES`).
+
+    The builders are deterministic, so results are memoized — repeated
+    sweeps and benchmarks share one instance per name.  Treat the
+    returned graph as read-only (everything in this repository does).
+    """
     try:
         return PAPER_MATRICES[name].build()
     except KeyError:

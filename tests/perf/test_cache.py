@@ -1,11 +1,19 @@
-"""PrepareCache: round-trips, and every flavor of bad entry is a miss."""
+"""Prepare/partition caches: round-trips, every flavor of bad entry a miss."""
 
 import numpy as np
 import pytest
 
 from repro import obs
-from repro.core import prepare
-from repro.perf import CACHE_VERSION, PrepareCache, cached_prepare, prepare_key
+from repro.core import prepare, schedule_blocks
+from repro.perf import (
+    CACHE_VERSION,
+    PartitionCache,
+    PrepareCache,
+    cached_partition,
+    cached_prepare,
+    partition_key,
+    prepare_key,
+)
 from repro.perf import cache as cache_mod
 from repro.sparse import grid9
 
@@ -126,6 +134,123 @@ class TestBadEntriesAreMisses:
         with open(path, "wb") as fh:
             np.savez(fh, **payload)
         assert cache.load(graph) is None
+
+
+class TestPartitionKey:
+    def test_deterministic(self, graph):
+        assert partition_key(graph, "mmd", 4, 4) == partition_key(graph, "mmd", 4, 4)
+
+    def test_depends_on_parameters(self, graph):
+        base = partition_key(graph, "mmd", 4, 4)
+        assert partition_key(graph, "mmd", 25, 4) != base
+        assert partition_key(graph, "mmd", 4, 2) != base
+        assert partition_key(graph, "natural", 4, 4) != base
+
+    def test_depends_on_impl_version(self, graph, monkeypatch):
+        before = partition_key(graph, "mmd", 4, 4)
+        monkeypatch.setattr(
+            cache_mod, "PARTITION_IMPL_VERSION",
+            cache_mod.PARTITION_IMPL_VERSION + 1,
+        )
+        assert partition_key(graph, "mmd", 4, 4) != before
+
+
+class TestPartitionCache:
+    def _fresh(self, prepared):
+        from repro.core import partition_prepared
+
+        return partition_prepared(prepared, grain=4, min_width=4)
+
+    def test_round_trip_is_value_identical(self, tmp_path, prepared):
+        cache = PartitionCache(tmp_path)
+        assert cache.load(prepared, 4, 4) is None  # cold
+        direct = self._fresh(prepared)
+        cache.store(prepared, direct)
+        hit = cache.load(prepared, 4, 4)
+        assert hit is not None
+        np.testing.assert_array_equal(
+            hit.partition.unit_of_element, direct.partition.unit_of_element
+        )
+        np.testing.assert_array_equal(
+            hit.dependencies.edges, direct.dependencies.edges
+        )
+        assert hit.dependencies.category_counts == direct.dependencies.category_counts
+        np.testing.assert_array_equal(hit.unit_work, direct.unit_work)
+        for mine, theirs in zip(hit.partition.units, direct.partition.units):
+            assert mine.kind == theirs.kind
+            assert mine.order_key == theirs.order_key
+            np.testing.assert_array_equal(mine.elements, theirs.elements)
+        assert [c.dense_blocks for c in hit.partition.clusters] == [
+            c.dense_blocks for c in direct.partition.clusters
+        ]
+
+    def test_reloaded_partition_schedules_identically(self, tmp_path, prepared):
+        direct = self._fresh(prepared)
+        PartitionCache(tmp_path).store(prepared, direct)
+        hit = PartitionCache(tmp_path).load(prepared, 4, 4)
+        for nprocs in (4, 16):
+            a = schedule_blocks(
+                direct.partition, direct.dependencies, nprocs,
+                unit_work=direct.unit_work,
+            )
+            b = schedule_blocks(
+                hit.partition, hit.dependencies, nprocs, unit_work=hit.unit_work
+            )
+            np.testing.assert_array_equal(a.owner_of_element, b.owner_of_element)
+            np.testing.assert_array_equal(a.proc_of_unit, b.proc_of_unit)
+
+    def test_cached_partition_counters(self, tmp_path, prepared):
+        with obs.enabled(obs.Recorder()) as rec:
+            cached_partition(prepared, 4, 4, cache_dir=tmp_path)
+        assert rec.counters.get("perf.cache.partition.miss") == 1
+        assert rec.counters.get("perf.cache.partition.store") == 1
+        assert rec.counters.get("pipeline.stage.partition") == 1  # recomputed
+        with obs.enabled(obs.Recorder()) as rec:
+            warm = cached_partition(prepared, 4, 4, cache_dir=tmp_path)
+        assert rec.counters.get("perf.cache.partition.hit") == 1
+        assert "pipeline.stage.partition" not in rec.counters
+        assert "pipeline.stage.dependencies" not in rec.counters
+        assert not rec.spans_named("pipeline.partition")
+        assert not rec.spans_named("pipeline.dependencies")
+        assert warm.partition.num_units > 0
+
+    def test_corrupted_entry_ignored(self, tmp_path, graph, prepared):
+        cache = PartitionCache(tmp_path)
+        cache.store(prepared, self._fresh(prepared))
+        path = cache.path_for(partition_key(graph, "mmd", 4, 4))
+        path.write_bytes(b"not an npz file")
+        with obs.enabled(obs.Recorder()) as rec:
+            assert cache.load(prepared, 4, 4) is None
+        assert rec.counters.get("perf.cache.partition.miss") == 1
+        assert rec.counters.get("perf.cache.partition.invalid") == 1
+
+    def test_impl_version_bumped_entry_ignored(self, tmp_path, graph, prepared):
+        cache = PartitionCache(tmp_path)
+        cache.store(prepared, self._fresh(prepared))
+        path = cache.path_for(partition_key(graph, "mmd", 4, 4))
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["impl"] = np.int64(cache_mod.PARTITION_IMPL_VERSION + 1)
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        with obs.enabled(obs.Recorder()) as rec:
+            assert cache.load(prepared, 4, 4) is None
+        assert rec.counters.get("perf.cache.partition.invalid") == 1
+        # cached_partition recovers by recomputing and overwriting.
+        fresh = cached_partition(prepared, 4, 4, cache_dir=tmp_path)
+        assert fresh.partition.num_units > 0
+        assert cache.load(prepared, 4, 4) is not None
+
+    def test_mangled_unit_ids_ignored(self, tmp_path, graph, prepared):
+        cache = PartitionCache(tmp_path)
+        cache.store(prepared, self._fresh(prepared))
+        path = cache.path_for(partition_key(graph, "mmd", 4, 4))
+        with np.load(path) as data:
+            payload = dict(data)
+        payload["unit_of_element"] = payload["unit_of_element"] + 10_000
+        with open(path, "wb") as fh:
+            np.savez(fh, **payload)
+        assert cache.load(prepared, 4, 4) is None
 
 
 class TestDefaultDir:

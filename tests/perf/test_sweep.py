@@ -7,8 +7,14 @@ import pytest
 from repro import obs
 from repro.analysis.sweep import SweepRecord
 from repro.analysis.sweep import sweep as reference_sweep
-from repro.perf import build_grid, sweep
-from repro.perf.sweep import SweepTask
+import importlib
+
+from repro.perf import build_grid, group_grid, sweep
+from repro.perf.sweep import SweepGroup, SweepTask
+
+#: The submodule itself (the package re-exports the ``sweep`` *function*
+#: under the same name, so ``import repro.perf.sweep as m`` binds that).
+sweep_mod = importlib.import_module("repro.perf.sweep")
 
 
 class TestBuildGrid:
@@ -39,6 +45,39 @@ class TestBuildGrid:
     def test_label(self):
         task = SweepTask("LAP30", "block", 16, 25, 4)
         assert task.label() == "LAP30 block P=16 g=25"
+
+
+class TestGroupGrid:
+    def test_groups_cells_by_invariant_parameters(self):
+        tasks = build_grid(["DWT512"], schemes=("block", "wrap"),
+                           procs=(2, 4, 8), grains=(4, 25), min_widths=(4,))
+        groups = group_grid(tasks)
+        # One group per (scheme, grain): block g=4, block g=25, wrap.
+        assert [(g.scheme, g.grain) for g in groups] == [
+            ("block", 4), ("block", 25), ("wrap", None),
+        ]
+        for group in groups:
+            assert group.procs == (2, 4, 8)
+
+    def test_indices_scatter_back_to_grid_order(self):
+        tasks = build_grid(["DWT512"], schemes=("block", "wrap"),
+                           procs=(2, 4), grains=(4,), min_widths=(4,))
+        groups = group_grid(tasks)
+        covered = sorted(i for g in groups for i in g.indices)
+        assert covered == list(range(len(tasks)))
+        for group in groups:
+            for index, nprocs in zip(group.indices, group.procs):
+                assert tasks[index].nprocs == nprocs
+                assert tasks[index].scheme == group.scheme
+
+    def test_matrices_do_not_share_groups(self):
+        tasks = build_grid(["DWT512", "LAP30"], schemes=("wrap",), procs=(2, 4))
+        groups = group_grid(tasks)
+        assert [g.matrix for g in groups] == ["DWT512", "LAP30"]
+
+    def test_label(self):
+        group = SweepGroup("LAP30", "block", 25, 4, "mmd", (16, 64), (0, 1))
+        assert group.label() == "LAP30 block g=25 P=16,64"
 
 
 GRID = dict(schemes=("block", "wrap"), procs=(2,), grains=(4,), min_widths=(4,))
@@ -98,3 +137,100 @@ class TestParallel:
             sweep(["DWT512"], jobs=2, **GRID)
         events = [e for e in rec.timeline if e.track == "perf.sweep"]
         assert len(events) == 2
+
+    def test_counters_are_ints(self, tmp_path):
+        with obs.enabled(obs.Recorder()) as rec:
+            sweep(["DWT512"], jobs=2, cache_dir=tmp_path, **GRID)
+        for name in ("perf.cache.hit", "perf.cache.miss", "perf.sweep.tasks"):
+            value = rec.counters.get(name)
+            if value is not None:
+                assert type(value) is int, (name, type(value))
+
+
+MULTI_P_GRID = dict(
+    schemes=("block", "block-adaptive", "wrap"),
+    procs=(2, 4, 8), grains=(4,), min_widths=(4,),
+)
+
+
+class TestStagedReuse:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return sweep(["DWT512"], jobs=1, reuse=False, **MULTI_P_GRID)
+
+    def test_reuse_matches_reference_serial(self, reference):
+        assert sweep(["DWT512"], jobs=1, reuse=True, **MULTI_P_GRID) == reference
+
+    def test_reuse_matches_reference_parallel(self, reference):
+        assert sweep(["DWT512"], jobs=4, reuse=True, **MULTI_P_GRID) == reference
+
+    def test_no_reuse_parallel_matches_reference(self, reference):
+        assert sweep(["DWT512"], jobs=4, reuse=False, **MULTI_P_GRID) == reference
+
+    def test_reuse_hit_counter_counts_shared_cells(self):
+        tasks = build_grid(["DWT512"], **MULTI_P_GRID)
+        groups = group_grid(tasks)
+        with obs.enabled(obs.Recorder()) as rec:
+            sweep(["DWT512"], jobs=1, reuse=True, **MULTI_P_GRID)
+        hits = rec.counters.get("perf.sweep.reuse.hit")
+        assert hits == len(tasks) - len(groups)
+        assert type(hits) is int
+
+    def test_reuse_hit_counter_aggregated_from_workers(self):
+        tasks = build_grid(["DWT512"], **MULTI_P_GRID)
+        groups = group_grid(tasks)
+        with obs.enabled(obs.Recorder()) as rec:
+            sweep(["DWT512"], jobs=2, reuse=True, **MULTI_P_GRID)
+        assert rec.counters.get("perf.sweep.reuse.hit") == len(tasks) - len(groups)
+        assert rec.counters.get("perf.sweep.tasks") == len(tasks)
+
+    def test_serial_reuse_runs_group_spans(self):
+        with obs.enabled(obs.Recorder()) as rec:
+            sweep(["DWT512"], jobs=1, reuse=True, **MULTI_P_GRID)
+        groups = group_grid(build_grid(["DWT512"], **MULTI_P_GRID))
+        assert len(rec.spans_named("perf.sweep.group")) == len(groups)
+        # The nprocs-invariant stages ran once per *group*, not per cell.
+        assert len(rec.spans_named("pipeline.partition")) < len(groups)
+
+    def test_parallel_reuse_one_timeline_event_per_group(self):
+        with obs.enabled(obs.Recorder()) as rec:
+            sweep(["DWT512"], jobs=2, reuse=True, **MULTI_P_GRID)
+        events = [e for e in rec.timeline if e.track == "perf.sweep"]
+        groups = group_grid(build_grid(["DWT512"], **MULTI_P_GRID))
+        assert len(events) == len(groups)
+
+    def test_warm_partition_cache_skips_partition_stage(self, tmp_path):
+        grid = dict(schemes=("block",), procs=(2, 4), grains=(4,), min_widths=(4,))
+        sweep(["DWT512"], jobs=1, cache_dir=tmp_path, **grid)  # cold fill
+        with obs.enabled(obs.Recorder()) as rec:
+            warm = sweep(["DWT512"], jobs=1, cache_dir=tmp_path, **grid)
+        assert rec.counters.get("perf.cache.partition.hit") == 1
+        assert not rec.spans_named("pipeline.partition")
+        assert not rec.spans_named("pipeline.dependencies")
+        assert warm == sweep(["DWT512"], jobs=1, reuse=False, **grid)
+
+
+class TestFailurePropagation:
+    def test_worker_failure_retries_in_parent(self, monkeypatch):
+        def boom(payload):
+            raise RuntimeError("worker crashed")
+
+        monkeypatch.setattr(sweep_mod, "_run_group", boom)
+        records = sweep(["DWT512"], jobs=2, **GRID)
+        assert records == sweep(["DWT512"], jobs=1, **GRID)
+
+    def test_group_failure_raises_with_label(self, monkeypatch):
+        def boom(group, cache_dir, memo, part_memo):
+            raise ValueError("stage exploded")
+
+        monkeypatch.setattr(sweep_mod, "_measure_group", boom)
+        with pytest.raises(RuntimeError, match="DWT512 (block|wrap)"):
+            sweep(["DWT512"], jobs=2, **GRID)
+
+    def test_per_cell_failure_raises_with_label(self, monkeypatch):
+        def boom(task, cache_dir, memo):
+            raise ValueError("cell exploded")
+
+        monkeypatch.setattr(sweep_mod, "_measure", boom)
+        with pytest.raises(RuntimeError, match="DWT512 (block|wrap) P=2"):
+            sweep(["DWT512"], jobs=2, reuse=False, **GRID)
