@@ -4,8 +4,14 @@ per-benchmark stage-timing recorder (repro.obs).
 Every benchmark runs under a fresh :class:`repro.obs.Recorder`; if the
 test touched any instrumented stage, its timing/counter summary lands in
 ``benchmarks/results/stage_timings/<test>.txt`` next to the rendered
-tables.  Set ``REPRO_TRACE=0`` to opt out (e.g. when measuring the
-disabled-mode overhead of the tracing layer itself).
+tables.  Two environment knobs:
+
+* ``REPRO_TRACE=0`` opts out entirely (e.g. when measuring the
+  disabled-mode overhead of the tracing layer itself);
+* ``REPRO_TRACE_OUT=<dir>`` additionally writes each benchmark's full
+  Chrome trace to ``<dir>/<test>.json`` — the same variable the CLI
+  reads as its ``--trace-out`` default (a file path there; a directory
+  here, since one pytest session produces many traces).
 """
 
 from __future__ import annotations
@@ -53,6 +59,11 @@ def record_stage_timings(request):
     STAGE_TIMINGS_DIR.mkdir(parents=True, exist_ok=True)
     name = re.sub(r"[^A-Za-z0-9._-]+", "-", request.node.name).strip("-")
     (STAGE_TIMINGS_DIR / f"{name}.txt").write_text(obs.summary_table(rec) + "\n")
+    trace_dir = os.environ.get("REPRO_TRACE_OUT")
+    if trace_dir:
+        out = Path(trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        obs.write_chrome_trace(rec, out / f"{name}.json")
 
 
 @pytest.fixture(scope="session")

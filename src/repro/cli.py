@@ -14,6 +14,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis import (
@@ -33,6 +34,43 @@ _TARGETS = ["table1", "table2", "table3", "table4", "table5",
             "figure1", "figure2", "figure3", "figure4"]
 _EXTRA_TARGETS = ["stats", "report", "claims", "sweep", "scorecard", "compare",
                   "bench", "bench-sweep"]
+
+#: Every invocable target with a one-line description, in the stable
+#: order ``--help`` lists them.  Keep this in sync with ``_emit`` /
+#: ``main`` — ``tests/analysis/test_cli.py`` asserts the help output
+#: names each of them.
+_TARGET_HELP: dict[str, str] = {
+    "table1": "the Harwell-Boeing test matrices (n, nnz, fill)",
+    "table2": "block-mapping communication volume",
+    "table3": "block-mapping work distribution (lambda)",
+    "table4": "cluster-width sensitivity for LAP30",
+    "table5": "wrap-mapping traffic and imbalance",
+    "figure1": "element-level dependencies of one update",
+    "figure2": "filled matrix of an MMD-ordered grid",
+    "figure3": "partitioned-cluster diagram",
+    "figure4": "dependency-category breakdown",
+    "all": "every table and figure above, in order",
+    "stats": "partition statistics for one matrix",
+    "report": "full paper-vs-measured report",
+    "claims": "per-claim verification verdicts",
+    "compare": "side-by-side paper/measured tables",
+    "scorecard": "block-vs-wrap metric scorecard",
+    "trace": "run any target under tracing (see --trace-out)",
+    "sweep": "parallel (matrix, scheme, P, g) grid sweep",
+    "bench": "per-stage pipeline benchmark -> BENCH_pipeline.json",
+    "bench-sweep": "staged-reuse sweep benchmark -> BENCH_sweep.json",
+    "runs": "run registry: runs list | show REF | compare OLD NEW",
+}
+
+
+def _targets_epilog() -> str:
+    lines = ["targets:"]
+    lines += [f"  {name:<12} {desc}" for name, desc in _TARGET_HELP.items()]
+    lines.append("")
+    lines.append("environment: REPRO_TRACE_OUT sets the default --trace-out; "
+                 "REPRO_RUNS_DIR relocates the run registry (.repro/runs); "
+                 "REPRO_CACHE_DIR relocates the prepared-matrix cache.")
+    return "\n".join(lines)
 
 
 def _int_list(text: str) -> tuple[int, ...]:
@@ -83,20 +121,74 @@ def _emit(target: str, args: argparse.Namespace) -> str:
     if target == "sweep":
         import dataclasses
         import json
+        import time
 
         from .analysis import records_to_csv
+        from .obs import runs as obs_runs
+        from .obs import trace as obs_trace
+        from .obs.export import write_chrome_trace, write_jsonl
         from .perf import sweep as perf_sweep
+        from .perf.bench import STAGES
 
         matrices = [m.strip() for m in args.matrix.split(",") if m.strip()]
-        records = perf_sweep(
+        schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+        run = lambda: perf_sweep(  # noqa: E731
             matrices,
-            schemes=tuple(s.strip() for s in args.schemes.split(",") if s.strip()),
+            schemes=schemes,
             procs=args.procs,
             grains=args.grains,
             min_widths=args.min_widths,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             reuse=not args.no_reuse,
+        )
+        # The sweep always runs under a recorder: workers then ship
+        # their trace shards home, --trace-out has something to export,
+        # and the run manifest carries stage timings and cache traffic.
+        # An outer recorder (-v, or `trace sweep`) is reused as is.
+        t0 = time.perf_counter()
+        if obs_trace.is_enabled():
+            rec = obs_trace.get_recorder()
+            records = run()
+        else:
+            with obs_trace.enabled(obs_trace.Recorder()) as rec:
+                records = run()
+        wall = time.perf_counter() - t0
+        if args.trace_out:
+            write_chrome_trace(rec, args.trace_out)
+            print(f"Chrome trace written to {args.trace_out} "
+                  "(open in chrome://tracing or https://ui.perfetto.dev)",
+                  file=sys.stderr)
+        if args.trace_jsonl:
+            write_jsonl(rec, args.trace_jsonl)
+            print(f"JSONL event stream written to {args.trace_jsonl}",
+                  file=sys.stderr)
+        obs_runs.record_run(
+            "sweep",
+            config={
+                "matrices": matrices,
+                "schemes": list(schemes),
+                "procs": list(args.procs),
+                "grains": list(args.grains),
+                "min_widths": list(args.min_widths),
+                "jobs": args.jobs,
+                "reuse": not args.no_reuse,
+            },
+            matrices={
+                ",".join(matrices): {
+                    "stages": {
+                        short: sum(s.duration for s in rec.spans_named(long))
+                        for short, long in STAGES.items()
+                    },
+                    "wall_total": wall,
+                }
+            },
+            counters={
+                k: v for k, v in rec.counters.items()
+                if k.startswith(("perf.cache.", "perf.sweep."))
+            },
+            wall_s=wall,
+            extra={"cells": len(records)},
         )
         if args.json:
             text = json.dumps([dataclasses.asdict(r) for r in records], indent=2)
@@ -127,6 +219,18 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             smoke=args.smoke,
             out=out,
             repeats=args.bench_repeats,
+        )
+        from .obs import runs as obs_runs
+
+        obs_runs.record_run(
+            "bench",
+            config={k: report[k]
+                    for k in ("smoke", "nprocs", "grain", "repeats")
+                    if k in report},
+            matrices=report.get("matrices", {}),
+            wall_s=sum(m.get("wall_total", 0.0)
+                       for m in report.get("matrices", {}).values()),
+            extra={"report": out},
         )
         text = render_bench(report) + f"\nreport written to {out}"
         if baseline is not None:
@@ -160,6 +264,18 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             smoke=args.smoke,
             out=out,
             repeats=args.bench_repeats,
+        )
+        from .obs import runs as obs_runs
+
+        obs_runs.record_run(
+            "bench-sweep",
+            config={k: report[k]
+                    for k in ("smoke", "grid", "repeats")
+                    if k in report},
+            matrices=report.get("matrices", {}),
+            wall_s=sum(m.get("wall_noreuse", 0.0) + m.get("wall_reuse", 0.0)
+                       for m in report.get("matrices", {}).values()),
+            extra={"report": out},
         )
         text = render_sweep_bench(report) + f"\nreport written to {out}"
         if baseline is not None:
@@ -234,16 +350,89 @@ def _run_traced(target: str, args: argparse.Namespace) -> tuple[str, str]:
     return text, obs.summary_table(rec)
 
 
+def _runs_main(argv: list[str]) -> int:
+    """``python -m repro runs list|show|compare`` — the run registry."""
+    from .obs import runs as obs_runs
+
+    parser = argparse.ArgumentParser(
+        prog="repro runs",
+        description="Inspect and compare the persistent run registry "
+                    "(.repro/runs, relocatable via $REPRO_RUNS_DIR).",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True, metavar="COMMAND")
+    p_list = sub.add_parser("list", help="list recorded runs, oldest first")
+    p_list.add_argument("--kind", default=None,
+                        help="only runs of this kind (sweep, bench, bench-sweep)")
+    p_show = sub.add_parser("show", help="print one run manifest as JSON")
+    p_show.add_argument("ref", help="run id (or unique prefix), 'latest', "
+                                    "'<kind>:latest', or a JSON report file")
+    p_cmp = sub.add_parser(
+        "compare", help="per-stage delta between two runs or report files"
+    )
+    p_cmp.add_argument("old", help="baseline: run ref or BENCH_*.json file")
+    p_cmp.add_argument("new", help="current: run ref or BENCH_*.json file")
+    p_cmp.add_argument("--fail-on-regression", action="store_true",
+                       help="exit nonzero when any stage regressed beyond "
+                            "the threshold (the CI gate)")
+    p_cmp.add_argument("--threshold", type=float, default=None, metavar="FRAC",
+                       help="regression threshold as a fraction "
+                            "(default 0.25 = 25%% slower)")
+    for p in (p_list, p_show, p_cmp):
+        p.add_argument("--runs-dir", default=None, metavar="DIR",
+                       help="registry directory (default .repro/runs, or "
+                            "$REPRO_RUNS_DIR)")
+    args = parser.parse_args(argv)
+    try:
+        if args.cmd == "list":
+            print(obs_runs.render_runs_table(
+                obs_runs.list_runs(args.runs_dir, args.kind)))
+            return 0
+        if args.cmd == "show":
+            print(obs_runs.render_run(obs_runs.load_run(args.ref, args.runs_dir)))
+            return 0
+        old = obs_runs.load_run(args.old, args.runs_dir)
+        new = obs_runs.load_run(args.new, args.runs_dir)
+        print(f"baseline: {old.get('run_id', args.old)}"
+              + (f" ({old.get('created')})" if old.get("created") else ""))
+        print(f"current:  {new.get('run_id', args.new)}"
+              + (f" ({new.get('created')})" if new.get("created") else ""))
+        print()
+        print(obs_runs.render_run_delta(old, new))
+        regressions = obs_runs.find_run_regressions(old, new, args.threshold)
+        if regressions:
+            from .perf.bench import REGRESSION_THRESHOLD
+
+            threshold = (REGRESSION_THRESHOLD if args.threshold is None
+                         else args.threshold)
+            print(f"\nregressions (stage >{100 * threshold:.0f}% slower "
+                  "than baseline):")
+            for line in regressions:
+                print(f"  {line}")
+            if args.fail_on_regression:
+                return 1
+        elif args.fail_on_regression:
+            print("\nno stage regressions beyond threshold")
+        return 0
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # 'runs' has its own positional grammar (subcommand + refs), so it is
+    # dispatched before the single-target parser below ever sees it.
+    if argv and argv[0] == "runs":
+        return _runs_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables/figures of Venugopal & Naik (SC 1991).",
-        epilog=(
-            "targets: " + ", ".join(_TARGETS)
-            + "; extra targets: " + ", ".join(_EXTRA_TARGETS)
-            + "; 'all' runs every table and figure; 'trace TARGET' runs any "
-            "of them under the repro.obs tracing layer (see --trace-out)."
-        ),
+        epilog=_targets_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "target",
@@ -315,16 +504,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="with 'bench': best-of-N stage timings "
                              "(default: 3 in full mode, 1 in smoke mode)")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
-                        help="with 'trace': write Chrome-trace JSON here "
-                             "(load in chrome://tracing or Perfetto)")
+                        help="with 'trace'/'sweep': write Chrome-trace JSON "
+                             "here (load in chrome://tracing or Perfetto; "
+                             "defaults to $REPRO_TRACE_OUT when set)")
     parser.add_argument("--trace-jsonl", default=None, metavar="FILE",
-                        help="with 'trace': write the raw event stream as JSONL")
+                        help="with 'trace'/'sweep': write the raw event "
+                             "stream as JSONL")
     verbosity = parser.add_mutually_exclusive_group()
     verbosity.add_argument("-v", "--verbose", action="store_true",
                            help="trace the run and print stage timings to stderr")
     verbosity.add_argument("-q", "--quiet", action="store_true",
                            help="suppress normal output (errors still print)")
     args = parser.parse_args(argv)
+    if args.trace_out is None:
+        args.trace_out = os.environ.get("REPRO_TRACE_OUT") or None
     # 'bench' defaults to every paper matrix; everything else to LAP30.
     args.bench_matrices = (
         None if args.matrix is None

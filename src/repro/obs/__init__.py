@@ -4,9 +4,14 @@
 counters, gauges, simulated timelines) that the rest of the stack calls
 into; it is a cheap no-op until enabled.  :mod:`repro.obs.export` turns
 a recorded run into JSONL, Chrome-trace JSON (``chrome://tracing`` /
-Perfetto) or an ASCII summary.  See ``docs/observability.md``.
+Perfetto) or an ASCII summary.  :mod:`repro.obs.shard` ships worker
+recorders across process boundaries and merges them into one
+multi-process trace; :mod:`repro.obs.runs` is the persistent run
+registry behind ``python -m repro runs``.  See
+``docs/observability.md``.
 """
 
+from . import runs, shard
 from .export import (
     chrome_trace_json,
     summary_table,
@@ -32,6 +37,8 @@ from .trace import (
 )
 
 __all__ = [
+    "runs",
+    "shard",
     "Recorder",
     "SpanRecord",
     "TimelineEvent",

@@ -8,9 +8,11 @@ Three output shapes:
   Trace Event Format (the ``traceEvents`` JSON object array), loadable
   in ``chrome://tracing`` or https://ui.perfetto.dev.  Wall-clock spans
   appear as one process ("repro pipeline", a thread per python thread);
-  simulated-machine timeline events appear as a second process with one
-  lane per processor, so a :func:`repro.machine.simulate.simulate_schedule`
-  run renders as a Gantt chart;
+  spans merged from worker shards (:mod:`repro.obs.shard`) appear as
+  one further process per worker pid; simulated-machine timeline events
+  appear as another process with one lane per processor, so a
+  :func:`repro.machine.simulate.simulate_schedule` run renders as a
+  Gantt chart;
 * :func:`summary_table` — the ASCII per-stage timing/counter summary
   printed by ``python -m repro trace <target>``.
 
@@ -35,8 +37,11 @@ __all__ = [
 
 # Wall-clock spans and simulated events are separate Chrome-trace
 # processes so their clocks (seconds vs abstract units) never mix.
+# Spans merged from worker shards (SpanRecord.pid set) get one further
+# Chrome process per worker, numbered from _PID_WORKER_BASE.
 _PID_PIPELINE = 1
 _PID_SIM = 2
+_PID_WORKER_BASE = 100
 
 
 def _jsonable(value):
@@ -59,8 +64,8 @@ def to_jsonl(recorder: Recorder) -> str:
     for s in recorder.spans:
         lines.append(json.dumps({
             "type": "span", "name": s.name, "start": s.start, "end": s.end,
-            "depth": s.depth, "thread": s.thread, "error": s.error,
-            "args": _jsonable(s.args),
+            "depth": s.depth, "thread": s.thread, "pid": s.pid,
+            "error": s.error, "args": _jsonable(s.args),
         }, sort_keys=True))
     for e in recorder.timeline:
         lines.append(json.dumps({
@@ -93,17 +98,30 @@ def to_chrome_trace(recorder: Recorder) -> dict:
         {"ph": "M", "pid": _PID_SIM, "name": "process_name",
          "args": {"name": "simulated machine (abstract time)"}},
     ]
-    threads = sorted({s.thread for s in recorder.spans})
-    tid_of = {t: i for i, t in enumerate(threads)}
-    for t, tid in tid_of.items():
-        events.append({"ph": "M", "pid": _PID_PIPELINE, "tid": tid,
-                       "name": "thread_name", "args": {"name": f"thread {t}"}})
+    # One Chrome process per recording process: the parent's spans
+    # (pid None) on _PID_PIPELINE, each merged worker shard on its own
+    # numbered process, with thread lanes inside each.
+    worker_pids = sorted({s.pid for s in recorder.spans if s.pid is not None})
+    chrome_pid = {None: _PID_PIPELINE}
+    chrome_pid.update(
+        (pid, _PID_WORKER_BASE + i) for i, pid in enumerate(worker_pids)
+    )
+    for pid in worker_pids:
+        events.append({"ph": "M", "pid": chrome_pid[pid], "name": "process_name",
+                       "args": {"name": f"sweep worker (pid {pid})"}})
+    tid_of: dict[tuple, int] = {}
+    for group in (None, *worker_pids):
+        threads = sorted({s.thread for s in recorder.spans if s.pid == group})
+        for i, t in enumerate(threads):
+            tid_of[(group, t)] = i
+            events.append({"ph": "M", "pid": chrome_pid[group], "tid": i,
+                           "name": "thread_name", "args": {"name": f"thread {t}"}})
     for s in recorder.spans:
         args = dict(_jsonable(s.args))
         if s.error is not None:
             args["error"] = s.error
         events.append({
-            "ph": "X", "pid": _PID_PIPELINE, "tid": tid_of[s.thread],
+            "ph": "X", "pid": chrome_pid[s.pid], "tid": tid_of[(s.pid, s.thread)],
             "name": s.name, "cat": "pipeline",
             "ts": s.start * 1e6, "dur": s.duration * 1e6, "args": args,
         })

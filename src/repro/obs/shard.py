@@ -1,0 +1,160 @@
+"""Cross-process trace collection: recorder shards and their merge.
+
+A parallel sweep runs each task under a scoped :class:`Recorder` inside
+a ``ProcessPoolExecutor`` worker.  Before this module, those recorders
+were flattened into a handful of summary counters and everything else —
+spans, per-task timings, cache traffic detail — died with the worker.
+Now each worker snapshots its recorder into a :class:`RecorderShard`, a
+plain picklable value shipped back with the task result (or spilled to a
+file when large), and the parent merges every shard into its own
+recorder:
+
+* span/timeline timestamps are **epoch-aligned**: each recorder stamps
+  its epoch with wall-clock time (``Recorder.epoch_unix``), so a shard's
+  relative timestamps are rebased onto the parent's epoch and the whole
+  fan-out renders on one timeline;
+* merged spans are tagged with the worker's **pid**, which the Chrome
+  trace exporter turns into one process lane per worker;
+* counters accumulate and gauges last-write-win, exactly as if the
+  worker had recorded into the parent directly.
+
+Shards bigger than :data:`SPILL_THRESHOLD_BYTES` when pickled are
+written to a shard file instead of riding the result pickle through the
+pool's result queue; :func:`unpack` reads (and removes) the file on the
+parent side.  Only the standard library is used.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .trace import Recorder, SpanRecord, TimelineEvent
+
+__all__ = [
+    "SHARD_FORMAT_VERSION",
+    "SPILL_THRESHOLD_BYTES",
+    "RecorderShard",
+    "snapshot",
+    "pack",
+    "unpack",
+    "merge_into",
+]
+
+#: Bump when the shard payload layout changes; :func:`unpack` rejects
+#: shards written by a different version instead of misreading them.
+SHARD_FORMAT_VERSION = 1
+
+#: Pickled shards at or above this size are spilled to a file and only
+#: the path travels through the process pool's result queue.
+SPILL_THRESHOLD_BYTES = 256 * 1024
+
+
+@dataclass
+class RecorderShard:
+    """A picklable snapshot of one worker's :class:`Recorder`."""
+
+    pid: int
+    epoch_unix: float
+    spans: list[SpanRecord] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, object] = field(default_factory=dict)
+    timeline: list[TimelineEvent] = field(default_factory=list)
+    format_version: int = SHARD_FORMAT_VERSION
+
+    def is_empty(self) -> bool:
+        return not (self.spans or self.counters or self.gauges or self.timeline)
+
+
+def snapshot(recorder: Recorder) -> RecorderShard:
+    """Freeze ``recorder`` into a shard for shipment to another process."""
+    return RecorderShard(
+        pid=os.getpid(),
+        epoch_unix=recorder.epoch_unix,
+        spans=list(recorder.spans),
+        counters=dict(recorder.counters),
+        gauges=dict(recorder.gauges),
+        timeline=list(recorder.timeline),
+    )
+
+
+def pack(
+    shard: RecorderShard,
+    spill_dir: str | Path | None = None,
+    threshold: int | None = None,
+) -> tuple[str, object]:
+    """Serialize a shard for the pool's result queue.
+
+    Returns ``("inline", bytes)`` for small shards, or spills to
+    ``spill_dir`` and returns ``("file", path)`` when the pickle reaches
+    ``threshold`` bytes (default :data:`SPILL_THRESHOLD_BYTES`).  With
+    no ``spill_dir`` the shard always travels inline.
+    """
+    if threshold is None:
+        threshold = SPILL_THRESHOLD_BYTES
+    blob = pickle.dumps(shard, protocol=pickle.HIGHEST_PROTOCOL)
+    if spill_dir is None or len(blob) < threshold:
+        return ("inline", blob)
+    spill_dir = Path(spill_dir)
+    spill_dir.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=spill_dir, prefix=f"shard-{shard.pid}-", suffix=".pkl"
+    )
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(blob)
+    return ("file", tmp)
+
+
+def unpack(payload: tuple[str, object]) -> RecorderShard:
+    """Rehydrate a :func:`pack` payload; spilled files are removed after
+    a successful read.  Rejects unknown payload kinds and format
+    versions loudly — a mangled shard must never merge silently."""
+    kind, value = payload
+    if kind == "inline":
+        shard = pickle.loads(value)
+    elif kind == "file":
+        with open(value, "rb") as fh:
+            shard = pickle.load(fh)
+        os.unlink(value)
+    else:
+        raise ValueError(f"unknown shard payload kind {kind!r}")
+    if not isinstance(shard, RecorderShard):
+        raise ValueError(f"shard payload holds {type(shard).__name__}, not a RecorderShard")
+    if shard.format_version != SHARD_FORMAT_VERSION:
+        raise ValueError(
+            f"shard format v{shard.format_version} != expected v{SHARD_FORMAT_VERSION}"
+        )
+    return shard
+
+
+def merge_into(recorder: Recorder, shard: RecorderShard) -> None:
+    """Merge one worker shard into ``recorder``.
+
+    Span and timeline timestamps are rebased from the shard's epoch onto
+    the recorder's (both carry the wall-clock time of their epoch, so
+    the offset is their difference); spans keep their original thread
+    ident and pick up the worker's pid so the exporter can give every
+    worker its own lane group.  Counters accumulate; gauges last-write-
+    win, matching single-recorder semantics.
+    """
+    delta = shard.epoch_unix - recorder.epoch_unix
+    for s in shard.spans:
+        recorder.add_span(
+            s.name,
+            s.start + delta,
+            s.end + delta,
+            depth=s.depth,
+            thread=s.thread,
+            args=s.args,
+            error=s.error,
+            pid=shard.pid if s.pid is None else s.pid,
+        )
+    for e in shard.timeline:
+        recorder.add_timeline_event(e.name, e.ts, e.dur, e.lane, e.track, **e.args)
+    for name, value in shard.counters.items():
+        recorder.add_counter(name, value)
+    for name, value in shard.gauges.items():
+        recorder.set_gauge(name, value)

@@ -63,6 +63,7 @@ class SpanRecord:
     thread: int  # python thread ident
     args: dict = field(default_factory=dict)
     error: str | None = None  # exception type name if the body raised
+    pid: int | None = None  # None = the recording process itself
 
     @property
     def duration(self) -> float:
@@ -91,6 +92,10 @@ class Recorder:
 
     def __init__(self) -> None:
         self.epoch = time.perf_counter()
+        #: Wall-clock (unix) time of the epoch, so recorders created in
+        #: different processes can be merged onto one timeline: a span's
+        #: absolute time is ``recorder.epoch_unix + span.start``.
+        self.epoch_unix = time.time()
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, object] = {}
@@ -116,6 +121,62 @@ class Recorder:
     def _record_span(self, rec: SpanRecord) -> None:
         with self._lock:
             self.spans.append(rec)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        depth: int = 0,
+        thread: int = 0,
+        args: dict | None = None,
+        error: str | None = None,
+        pid: int | None = None,
+    ) -> None:
+        """Record a fully-formed span (merged shards, synthetic spans)."""
+        self._record_span(
+            SpanRecord(
+                name=name,
+                start=float(start),
+                end=float(end),
+                depth=int(depth),
+                thread=int(thread),
+                args=dict(args or {}),
+                error=error,
+                pid=pid,
+            )
+        )
+
+    def drain_open_spans(self, error: str | None = None) -> int:
+        """Force-close every span the calling thread still has open.
+
+        Worker exception paths call this before the recorder is
+        snapshotted so an in-flight span (entered but never exited —
+        e.g. via a manual ``__enter__`` without a ``with`` block) is
+        recorded rather than silently dropped.  Each drained span ends
+        now and carries ``error``; returns how many were drained.  Spans
+        closed here are marked done, so a late ``__exit__`` is a no-op.
+        """
+        stack = self._stack()
+        now = time.perf_counter() - self.epoch
+        drained = 0
+        while stack:
+            sp = stack.pop()
+            sp._done = True
+            self._record_span(
+                SpanRecord(
+                    name=sp._name,
+                    start=sp._t0,
+                    end=now,
+                    depth=len(stack),
+                    thread=threading.get_ident(),
+                    args=sp._args,
+                    error=error,
+                )
+            )
+            drained += 1
+        return drained
 
     # -- scalars --------------------------------------------------------
     def add_counter(self, name: str, value: float = 1) -> None:
@@ -144,23 +205,29 @@ class Recorder:
 class _Span:
     """Context manager recording one span on exit (exceptions included)."""
 
-    __slots__ = ("_rec", "_name", "_args", "_t0", "_depth")
+    __slots__ = ("_rec", "_name", "_args", "_t0", "_depth", "_done")
 
     def __init__(self, rec: Recorder, name: str, args: dict):
         self._rec = rec
         self._name = name
         self._args = args
+        self._done = False
 
     def __enter__(self) -> "_Span":
         stack = self._rec._stack()
         self._depth = len(stack)
-        stack.append(self._name)
+        stack.append(self)
         self._t0 = time.perf_counter() - self._rec.epoch
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._done:  # already force-closed by drain_open_spans()
+            return False
         t1 = time.perf_counter() - self._rec.epoch
-        self._rec._stack().pop()
+        self._done = True
+        stack = self._rec._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
         self._rec._record_span(
             SpanRecord(
                 name=self._name,

@@ -24,19 +24,30 @@ A failed cell is retried once in the parent process; if the retry fails
 too, :func:`sweep` raises with the failing cell's label — results are
 never silently dropped.
 
-Observability: the fan-out runs under a ``perf.sweep.run`` span, each
-submitted task lands on the recorder as a ``perf.sweep`` timeline event
-(serial tasks also get real ``perf.sweep.task`` / ``perf.sweep.group``
-spans), worker cache traffic is aggregated into integer
-``perf.cache.hit``/``perf.cache.miss`` counters, per-``nprocs`` stage
-reuse is counted by ``perf.sweep.reuse.hit``, and pool efficiency is
-reported via the ``perf.sweep.pool_utilization`` gauge.
+Observability: the fan-out runs under a ``perf.sweep.run`` span and
+every unit of work — serial or in a worker — runs under a real
+``perf.sweep.task`` / ``perf.sweep.group`` span.  When the parent is
+tracing, each worker snapshots its recorder into a
+:class:`repro.obs.shard.RecorderShard` (spilled to a file above a size
+threshold) that the parent merges back: worker spans land on per-pid
+lanes with epoch-aligned timestamps, worker counters accumulate into
+the parent's, and the parent synthesizes ``pool.queue_wait`` spans
+(submit -> worker start) per unit plus one ``pool.utilization`` span
+per worker lane.  Each finished unit also lands as a ``perf.sweep``
+timeline event, and pool efficiency is reported via the
+``perf.sweep.pool_utilization`` gauge.  A worker that fails mid-task
+drains its open span stack into the shard (the in-flight span is
+recorded with its error, never dropped) and ships the shard home on the
+exception before the parent retries.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import tempfile
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,11 +65,38 @@ from ..core.pipeline import (
     wrap_mapping,
     wrap_mappings,
 )
+from ..obs import shard as obs_shard
 from ..obs import trace as obs
 from ..sparse import harwell_boeing as hb
 from .cache import cached_partition, cached_prepare
 
-__all__ = ["SweepGroup", "SweepTask", "build_grid", "group_grid", "sweep"]
+__all__ = [
+    "SweepGroup",
+    "SweepTask",
+    "SweepWorkerError",
+    "build_grid",
+    "group_grid",
+    "sweep",
+]
+
+
+class SweepWorkerError(RuntimeError):
+    """A sweep unit failed inside a worker process.
+
+    Carries the unit's label, the formatted worker traceback, and the
+    worker's stats dict — including its recorder shard, so the failed
+    attempt's spans still reach the merged trace.  All state rides in
+    ``args`` so the exception survives the pool's pickle round-trip.
+    """
+
+    def __init__(self, label: str, worker_traceback: str, stats: dict):
+        super().__init__(label, worker_traceback, stats)
+        self.label = label
+        self.worker_traceback = worker_traceback
+        self.stats = stats
+
+    def __str__(self) -> str:
+        return f"sweep unit {self.label!r} failed in worker:\n{self.worker_traceback}"
 
 _SCHEMES = ("block", "block-adaptive", "wrap")
 
@@ -260,33 +298,72 @@ def _measure_group(
     ]
 
 
-def _worker_stats(rec: obs.Recorder, t0: float) -> dict:
-    return {
+def _worker_stats(
+    rec: obs.Recorder,
+    t0: float,
+    t0_unix: float,
+    collect: bool,
+    spill_dir: str | None,
+) -> dict:
+    """Snapshot one worker attempt: timings, cache counters, and — when
+    the parent is tracing — the full recorder shard (inline or spilled).
+    Every open span must be closed/drained before this runs."""
+    stats = {
         "elapsed": time.perf_counter() - t0,
         "cache_hit": int(rec.counters.get("perf.cache.hit", 0)),
         "cache_miss": int(rec.counters.get("perf.cache.miss", 0)),
         "reuse_hit": int(rec.counters.get("perf.sweep.reuse.hit", 0)),
+        "pid": os.getpid(),
+        "t0_unix": t0_unix,
+        "t1_unix": time.time(),
+        "shard": None,
     }
+    if collect:
+        stats["shard"] = obs_shard.pack(obs_shard.snapshot(rec), spill_dir)
+    return stats
+
+
+def _run_unit(index: int, unit, cache_dir, collect, spill_dir, grouped: bool):
+    """Worker entry: run one cell/group under a scoped recorder.
+
+    Success returns ``(index, payload, stats)``.  Failure drains any
+    still-open span onto the recorder (recorded with the exception's
+    type, not dropped), snapshots stats/shard anyway, and raises
+    :class:`SweepWorkerError` carrying both back to the parent.
+    """
+    t0 = time.perf_counter()
+    t0_unix = time.time()
+    with obs.enabled(obs.Recorder()) as rec:
+        try:
+            if grouped:
+                with obs.span(
+                    "perf.sweep.group", label=unit.label(), cells=len(unit.procs)
+                ):
+                    payload = _measure_group(
+                        unit, cache_dir, _WORKER_PREPARED, _WORKER_PARTITIONED
+                    )
+            else:
+                with obs.span("perf.sweep.task", label=unit.label()):
+                    payload = _measure(unit, cache_dir, _WORKER_PREPARED)
+        except Exception as exc:
+            rec.drain_open_spans(error=type(exc).__name__)
+            stats = _worker_stats(rec, t0, t0_unix, collect, spill_dir)
+            raise SweepWorkerError(
+                unit.label(), traceback.format_exc(), stats
+            ) from None
+    return index, payload, _worker_stats(rec, t0, t0_unix, collect, spill_dir)
 
 
 def _run_task(payload) -> tuple[int, SweepRecord, dict]:
-    """Worker entry: run one cell under a scoped recorder, report stats."""
-    index, task, cache_dir = payload
-    t0 = time.perf_counter()
-    with obs.enabled(obs.Recorder()) as rec:
-        record = _measure(task, cache_dir, _WORKER_PREPARED)
-    return index, record, _worker_stats(rec, t0)
+    """Worker entry: one per-cell task (module-level for picklability)."""
+    index, task, cache_dir, collect, spill_dir = payload
+    return _run_unit(index, task, cache_dir, collect, spill_dir, grouped=False)
 
 
 def _run_group(payload) -> tuple[int, list[SweepRecord], dict]:
-    """Worker entry: run one staged-reuse group, report stats."""
-    gindex, group, cache_dir = payload
-    t0 = time.perf_counter()
-    with obs.enabled(obs.Recorder()) as rec:
-        records = _measure_group(
-            group, cache_dir, _WORKER_PREPARED, _WORKER_PARTITIONED
-        )
-    return gindex, records, _worker_stats(rec, t0)
+    """Worker entry: one staged-reuse group."""
+    gindex, group, cache_dir, collect, spill_dir = payload
+    return _run_unit(gindex, group, cache_dir, collect, spill_dir, grouped=True)
 
 
 # ----------------------------------------------------------------------
@@ -369,6 +446,11 @@ def _sweep_parallel(
     else:
         units = [(t.label(), t) for t in tasks]
         runner, retry = _run_task, _retry_task
+    # Shard collection is decided once, up front: workers only pay the
+    # snapshot/pickle cost when the parent is actually tracing.
+    collect = obs.is_enabled()
+    rec = obs.get_recorder() if collect else None
+    spill_dir = os.path.join(cache_str, "shards") if collect else None
     try:
         with obs.span("perf.sweep.run", tasks=len(tasks), jobs=jobs):
             # Prepare (or re-load) each matrix once up front so workers
@@ -376,23 +458,34 @@ def _sweep_parallel(
             for matrix in dict.fromkeys(matrices):
                 cached_prepare(hb.load(matrix), ordering, matrix, cache_str)
             t_epoch = time.perf_counter()
+            pool_unix0 = time.time()
             results: list[SweepRecord | None] = [None] * len(tasks)
             busy = 0.0
             hits = 0
             misses = 0
             reuse_hits = 0
+            busy_by_pid: dict[int, float] = {}
+            submit_unix: dict[int, float] = {}
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {
-                    pool.submit(runner, (i, unit, cache_str)): i
-                    for i, (_, unit) in enumerate(units)
-                }
+                futures = {}
+                for i, (_, unit) in enumerate(units):
+                    submit_unix[i] = time.time()
+                    futures[pool.submit(runner, (i, unit, cache_str, collect, spill_dir))] = i
                 for future in as_completed(futures):
                     try:
                         index, payload, stats = future.result()
-                    except Exception:
-                        # Retry the failed unit once, in-process; a
-                        # second failure raises with the unit's label.
+                    except Exception as exc:
+                        # The failed attempt's shard (if it got as far
+                        # as snapshotting) still joins the trace ...
                         index = futures[future]
+                        failed_stats = getattr(exc, "stats", None)
+                        if collect and isinstance(failed_stats, dict):
+                            _merge_worker_trace(
+                                rec, failed_stats, submit_unix[index],
+                                units[index][0], index,
+                            )
+                        # ... then the unit is retried once, in-process;
+                        # a second failure raises with the unit's label.
                         t0 = time.perf_counter()
                         payload = retry(units[index], cache_str)
                         stats = {
@@ -401,6 +494,18 @@ def _sweep_parallel(
                             "cache_miss": 0,
                             "reuse_hit": 0,
                         }
+                        obs.counter("perf.sweep.retries")
+                    else:
+                        if collect:
+                            _merge_worker_trace(
+                                rec, stats, submit_unix[index],
+                                units[index][0], index,
+                            )
+                        pid = stats.get("pid")
+                        if pid is not None:
+                            busy_by_pid[pid] = (
+                                busy_by_pid.get(pid, 0.0) + stats["elapsed"]
+                            )
                     if reuse:
                         group = units[index][1]
                         for slot, record in zip(group.indices, payload):
@@ -421,12 +526,32 @@ def _sweep_parallel(
                         index=index,
                     )
             wall = time.perf_counter() - t_epoch
-            if hits:
-                obs.counter("perf.cache.hit", hits)
-            if misses:
-                obs.counter("perf.cache.miss", misses)
-            if reuse_hits:
-                obs.counter("perf.sweep.reuse.hit", reuse_hits)
+            if collect:
+                # One lane-wide utilization span per worker process.
+                pool_unix1 = time.time()
+                for pid, busy_s in sorted(busy_by_pid.items()):
+                    rec.add_span(
+                        "pool.utilization",
+                        pool_unix0 - rec.epoch_unix,
+                        pool_unix1 - rec.epoch_unix,
+                        thread=0,
+                        pid=pid,
+                        args={
+                            "busy_s": round(busy_s, 6),
+                            "utilization": busy_s / wall if wall > 0 else 0.0,
+                        },
+                    )
+            else:
+                # Without shards the summary counters aggregated from
+                # worker stats are all that survives.  (With shards the
+                # merge already accumulated the real counters; adding
+                # these again would double-count.)
+                if hits:
+                    obs.counter("perf.cache.hit", hits)
+                if misses:
+                    obs.counter("perf.cache.miss", misses)
+                if reuse_hits:
+                    obs.counter("perf.sweep.reuse.hit", reuse_hits)
             obs.counter("perf.sweep.tasks", len(tasks))
             obs.gauge("perf.sweep.jobs", jobs)
             obs.gauge(
@@ -437,6 +562,40 @@ def _sweep_parallel(
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+
+def _merge_worker_trace(
+    rec: obs.Recorder,
+    stats: dict,
+    submitted_unix: float,
+    label: str,
+    index: int,
+) -> None:
+    """Merge one worker attempt's shard into the parent recorder and
+    synthesize its ``pool.queue_wait`` span (submit -> worker start).
+    A shard that fails to unpack is counted and dropped — records are
+    authoritative, traces are best-effort."""
+    payload = stats.get("shard")
+    if payload is None:
+        return
+    try:
+        worker_shard = obs_shard.unpack(payload)
+    except (OSError, ValueError, pickle.UnpicklingError, EOFError):
+        obs.counter("perf.sweep.shard.dropped")
+        return
+    obs_shard.merge_into(rec, worker_shard)
+    lane_thread = worker_shard.spans[0].thread if worker_shard.spans else 0
+    q0 = submitted_unix - rec.epoch_unix
+    q1 = stats["t0_unix"] - rec.epoch_unix
+    if q1 >= q0:
+        rec.add_span(
+            "pool.queue_wait",
+            q0,
+            q1,
+            thread=lane_thread,
+            pid=worker_shard.pid,
+            args={"unit": label, "index": index},
+        )
 
 
 def _retry_task(unit: tuple[str, SweepTask], cache_str: str | None) -> SweepRecord:

@@ -108,3 +108,70 @@ class TestTraceTarget:
 
         assert main(["trace", "figure3", "--matrix", "LAP30"]) == 0
         assert not obs_trace.is_enabled()
+
+
+class TestHelp:
+    def test_help_lists_every_target(self, capsys):
+        from repro.cli import _TARGET_HELP
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "targets:" in out
+        for name, desc in _TARGET_HELP.items():
+            assert f"{name} " in out or f"{name}\n" in out, name
+            assert desc in out, name
+        assert "REPRO_TRACE_OUT" in out and "REPRO_RUNS_DIR" in out
+
+    def test_help_order_is_stable(self, capsys):
+        from repro.cli import _TARGET_HELP
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        epilog = out[out.index("targets:"):]
+        positions = [epilog.index(f"  {name} ".rstrip() + " ")
+                     for name in _TARGET_HELP]
+        assert positions == sorted(positions)
+
+
+class TestTraceOutEnv:
+    def test_env_var_sets_trace_default(self, fresh_caches, tmp_path,
+                                        monkeypatch, capsys):
+        out = tmp_path / "env-trace.json"
+        monkeypatch.setenv("REPRO_TRACE_OUT", str(out))
+        assert main(["trace", "figure3", "--matrix", "LAP30", "-q"]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_flag_overrides_env_var(self, fresh_caches, tmp_path,
+                                    monkeypatch):
+        env_out = tmp_path / "env.json"
+        flag_out = tmp_path / "flag.json"
+        monkeypatch.setenv("REPRO_TRACE_OUT", str(env_out))
+        assert main(["trace", "figure3", "--matrix", "LAP30", "-q",
+                     "--trace-out", str(flag_out)]) == 0
+        assert flag_out.exists() and not env_out.exists()
+
+
+class TestSweepTarget:
+    def test_trace_out_writes_merged_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        assert main(["sweep", "--matrix", "DWT512", "--procs", "2",
+                     "--grains", "4", "--jobs", "1", "-q",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+        assert "perf.sweep.run" in names
+        assert any(n.startswith("perf.sweep.group") for n in names)
+        assert str(out) in capsys.readouterr().err
+
+    def test_env_var_sets_sweep_trace_default(self, tmp_path, monkeypatch):
+        out = tmp_path / "sweep-env.json"
+        monkeypatch.setenv("REPRO_TRACE_OUT", str(out))
+        assert main(["sweep", "--matrix", "DWT512", "--procs", "2",
+                     "--grains", "4", "-q",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert json.loads(out.read_text())["traceEvents"]

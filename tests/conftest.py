@@ -90,6 +90,14 @@ def brute_force_traffic(owner: np.ndarray, pattern: LowerPattern,
 # ----------------------------------------------------------------------
 
 
+@pytest.fixture(autouse=True)
+def _sandbox_run_registry(tmp_path, monkeypatch):
+    """Point the obs run registry at a throwaway directory so tests that
+    drive the CLI (sweep/bench targets record manifests) never write
+    ``.repro/runs`` into the working tree."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "repro-runs"))
+
+
 @pytest.fixture(scope="session")
 def grid_graph() -> SymmetricGraph:
     return grid5(5, 5)

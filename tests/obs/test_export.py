@@ -85,6 +85,61 @@ class TestChromeTrace:
         assert doc["traceEvents"]
 
 
+class TestChromeTraceEdgeCases:
+    def test_empty_recorder_still_valid(self):
+        doc = json.loads(chrome_trace_json(Recorder()))
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+        assert doc["otherData"]["counters"] == {}
+
+    def test_counter_only_run(self):
+        with trace.enabled() as rec:
+            trace.counter("partition.units", 3)
+            trace.counter("partition.units", 4)
+        doc = to_chrome_trace(rec)
+        assert doc["otherData"]["counters"] == {"partition.units": 7}
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+    def test_zero_duration_timeline_events(self):
+        with trace.enabled() as rec:
+            trace.timeline_event("idle", ts=0.0, dur=0.0, lane=0)
+        doc = to_chrome_trace(rec)
+        (e,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert e["dur"] == 0.0
+        assert "busy %" in summary_table(rec)  # no ZeroDivisionError
+
+    def test_non_ascii_span_args_round_trip(self):
+        with trace.enabled() as rec:
+            with trace.span("étape", matrice="Δ-行列", note="naïve"):
+                pass
+        doc = json.loads(chrome_trace_json(rec))
+        (e,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert e["name"] == "étape"
+        assert e["args"] == {"matrice": "Δ-行列", "note": "naïve"}
+
+    def test_worker_spans_get_their_own_process_lanes(self):
+        rec = Recorder()
+        rec.add_span("parent.stage", 0.0, 1.0)
+        rec.add_span("worker.stage", 0.2, 0.8, pid=111, thread=5)
+        rec.add_span("worker.stage", 0.3, 0.9, pid=222, thread=7)
+        doc = to_chrome_trace(rec)
+        xs = {e["name"]: e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert xs["parent.stage"] == 1
+        worker_lane_names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+            and e["args"]["name"].startswith("sweep worker")
+        }
+        assert worker_lane_names == {
+            "sweep worker (pid 111)", "sweep worker (pid 222)",
+        }
+        worker_pids = {
+            e["pid"] for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "worker.stage"
+        }
+        assert len(worker_pids) == 2 and 1 not in worker_pids
+
+
 class TestJsonl:
     def test_every_line_is_json(self, recorded):
         lines = to_jsonl(recorded).splitlines()
@@ -100,6 +155,18 @@ class TestJsonl:
 
     def test_empty_recorder(self):
         assert to_jsonl(Recorder()) == ""
+
+    def test_span_lines_carry_the_worker_pid(self):
+        rec = Recorder()
+        rec.add_span("worker.stage", 0.0, 1.0, pid=123)
+        (line,) = to_jsonl(rec).splitlines()
+        assert json.loads(line)["pid"] == 123
+
+    def test_non_ascii_args_round_trip(self):
+        rec = Recorder()
+        rec.add_span("étape", 0.0, 1.0, args={"matrice": "Δ-行列"})
+        (line,) = to_jsonl(rec).splitlines()
+        assert json.loads(line)["args"] == {"matrice": "Δ-行列"}
 
 
 class TestSummaryTable:
