@@ -51,15 +51,17 @@ _TARGET_HELP: dict[str, str] = {
     "figure4": "dependency-category breakdown",
     "all": "every table and figure above, in order",
     "stats": "partition statistics for one matrix",
-    "report": "full paper-vs-measured report",
+    "report": "paper-vs-measured report; --latest/--run: HTML run report",
     "claims": "per-claim verification verdicts",
     "compare": "side-by-side paper/measured tables",
     "scorecard": "block-vs-wrap metric scorecard",
     "trace": "run any target under tracing (see --trace-out)",
+    "profile": "run any target under the sampling profiler (--hz)",
     "sweep": "parallel (matrix, scheme, P, g) grid sweep",
     "bench": "per-stage pipeline benchmark -> BENCH_pipeline.json",
     "bench-sweep": "staged-reuse sweep benchmark -> BENCH_sweep.json",
     "runs": "run registry: runs list | show REF | compare OLD NEW",
+    "cache": "disk-cache tools: cache stats | prune --max-bytes N",
 }
 
 
@@ -127,6 +129,8 @@ def _emit(target: str, args: argparse.Namespace) -> str:
         from .obs import runs as obs_runs
         from .obs import trace as obs_trace
         from .obs.export import write_chrome_trace, write_jsonl
+        from .obs.memory import monitored
+        from .obs.report import downsample
         from .perf import sweep as perf_sweep
         from .perf.bench import STAGES
 
@@ -149,10 +153,12 @@ def _emit(target: str, args: argparse.Namespace) -> str:
         t0 = time.perf_counter()
         if obs_trace.is_enabled():
             rec = obs_trace.get_recorder()
-            records = run()
+            with monitored(rec):
+                records = run()
         else:
             with obs_trace.enabled(obs_trace.Recorder()) as rec:
-                records = run()
+                with monitored(rec):
+                    records = run()
         wall = time.perf_counter() - t0
         if args.trace_out:
             write_chrome_trace(rec, args.trace_out)
@@ -181,6 +187,7 @@ def _emit(target: str, args: argparse.Namespace) -> str:
                         for short, long in STAGES.items()
                     },
                     "wall_total": wall,
+                    "mem_peak_mb": rec.gauges.get("mem.rss_peak_mb"),
                 }
             },
             counters={
@@ -188,7 +195,19 @@ def _emit(target: str, args: argparse.Namespace) -> str:
                 if k.startswith(("perf.cache.", "perf.sweep."))
             },
             wall_s=wall,
-            extra={"cells": len(records)},
+            extra={
+                "cells": len(records),
+                # What the HTML report renders: the sweep curves, the
+                # distribution percentiles, and the RSS timeline in MB.
+                "records": [dataclasses.asdict(r) for r in records],
+                "histograms": {
+                    k: h.to_dict() for k, h in sorted(rec.histograms.items())
+                },
+                "memory": [
+                    [round(t, 4), round(rss / (1024.0 * 1024.0), 2)]
+                    for t, rss in downsample(rec.memory_samples, limit=300)
+                ],
+            },
         )
         if args.json:
             text = json.dumps([dataclasses.asdict(r) for r in records], indent=2)
@@ -307,6 +326,11 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             f"Scorecard: {args.matrix} at P=16 (block g={args.grain} vs wrap)",
         )
     if target == "report":
+        if args.latest or args.run_ref:
+            from .obs.report import render_report
+
+            out = render_report(args.run_ref, out=args.output or "REPORT.html")
+            return f"HTML run report written to {out}"
         report = generate_report()
         if args.output:
             with open(args.output, "w") as fh:
@@ -348,6 +372,41 @@ def _run_traced(target: str, args: argparse.Namespace) -> tuple[str, str]:
     if args.trace_jsonl:
         obs.write_jsonl(rec, args.trace_jsonl)
     return text, obs.summary_table(rec)
+
+
+def _run_profiled(target: str, args: argparse.Namespace) -> tuple[str, str]:
+    """Emit ``target`` under tracing + the sampling profiler + memory
+    watermarks; returns (output, profile/summary text)."""
+    from . import obs
+    from .obs import runs as obs_runs
+    from .obs.memory import monitored
+    from .obs.profile import SamplingProfiler
+
+    with obs.enabled(obs.Recorder()) as rec:
+        prof = SamplingProfiler(hz=args.hz, recorder=rec)
+        with monitored(rec):
+            with prof:
+                with obs.span("cli.target", target=target):
+                    text = _emit(target, args)
+    if args.trace_out:
+        obs.write_chrome_trace(rec, args.trace_out)
+    if args.trace_jsonl:
+        obs.write_jsonl(rec, args.trace_jsonl)
+    if args.profile_out:
+        with open(args.profile_out, "w") as fh:
+            fh.write(prof.collapsed())
+    obs_runs.record_run(
+        "profile",
+        config={"target": target, "hz": args.hz, "matrix": args.matrix,
+                "grain": args.grain},
+        counters=dict(rec.counters),
+        wall_s=prof.duration,
+        extra={"profile": prof.to_dict(top=args.profile_top),
+               "gauges": {k: v for k, v in rec.gauges.items()
+                          if isinstance(v, (int, float, str))}},
+    )
+    summary = prof.table(args.profile_top) + "\n\n" + obs.summary_table(rec)
+    return text, summary
 
 
 def _runs_main(argv: list[str]) -> int:
@@ -421,13 +480,71 @@ def _runs_main(argv: list[str]) -> int:
         return 1
 
 
+def _parse_bytes(text: str) -> int:
+    """``512``, ``64K``, ``100M``, ``2G`` -> bytes (suffixes are 1024-based)."""
+    raw = text.strip().upper()
+    scale = 1
+    for suffix, mult in (("K", 1024), ("M", 1024**2), ("G", 1024**3)):
+        if raw.endswith(suffix):
+            raw, scale = raw[:-1], mult
+            break
+    try:
+        value = int(float(raw) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (expected e.g. 512, 64K, 100M, 2G)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be >= 0")
+    return value
+
+
+def _cache_main(argv: list[str]) -> int:
+    """``python -m repro cache stats|prune`` — the prepared-matrix cache."""
+    from .perf.cache import cache_stats, prune_cache, render_cache_stats
+
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect and prune the prepared-matrix disk cache "
+                    "(~/.cache/repro-prepare, relocatable via "
+                    "$REPRO_CACHE_DIR).",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True, metavar="COMMAND")
+    p_stats = sub.add_parser(
+        "stats", help="entry counts, bytes, and lifetime hit/miss counters"
+    )
+    p_prune = sub.add_parser(
+        "prune", help="evict least-recently-used entries down to a byte budget"
+    )
+    p_prune.add_argument(
+        "--max-bytes", type=_parse_bytes, required=True, metavar="N",
+        help="target cache size in bytes (K/M/G suffixes accepted)",
+    )
+    for p in (p_stats, p_prune):
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default ~/.cache/repro-prepare, "
+                            "or $REPRO_CACHE_DIR)")
+    args = parser.parse_args(argv)
+    if args.cmd == "stats":
+        print(render_cache_stats(cache_stats(args.cache_dir)))
+        return 0
+    result = prune_cache(args.cache_dir, max_bytes=args.max_bytes)
+    print(f"pruned {result['removed']} entries "
+          f"({result['freed_bytes']} bytes freed); "
+          f"kept {result['kept']} entries ({result['kept_bytes']} bytes)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # 'runs' has its own positional grammar (subcommand + refs), so it is
-    # dispatched before the single-target parser below ever sees it.
+    # 'runs' and 'cache' have their own positional grammars (subcommand +
+    # refs/flags), so they are dispatched before the single-target parser
+    # below ever sees them.
     if argv and argv[0] == "runs":
         return _runs_main(list(argv[1:]))
+    if argv and argv[0] == "cache":
+        return _cache_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables/figures of Venugopal & Naik (SC 1991).",
@@ -437,15 +554,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         metavar="target",
-        choices=_TARGETS + _EXTRA_TARGETS + ["all", "trace"],
-        help="which table/figure to regenerate (or 'trace' / 'all')",
+        choices=_TARGETS + _EXTRA_TARGETS + ["all", "trace", "profile"],
+        help="which table/figure to regenerate (or 'trace'/'profile'/'all')",
     )
     parser.add_argument(
         "subtarget",
         nargs="?",
         default=None,
         metavar="traced-target",
-        help="with 'trace': the target to run under tracing",
+        help="with 'trace'/'profile': the target to run under it",
     )
     parser.add_argument("--nx", type=int, default=5, help="figure2 grid width")
     parser.add_argument("--ny", type=int, default=5, help="figure2 grid height")
@@ -503,6 +620,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--bench-repeats", type=int, default=None, metavar="N",
                         help="with 'bench': best-of-N stage timings "
                              "(default: 3 in full mode, 1 in smoke mode)")
+    parser.add_argument("--latest", action="store_true",
+                        help="with 'report': render the most recent "
+                             "registry run as a self-contained HTML page "
+                             "(--output, default REPORT.html)")
+    parser.add_argument("--run", dest="run_ref", default=None, metavar="REF",
+                        help="with 'report': render this run (id, prefix, "
+                             "'<kind>:latest', or a BENCH_*.json file) as "
+                             "HTML instead of the paper report")
+    parser.add_argument("--hz", type=float, default=200.0,
+                        help="with 'profile': stack sampling rate "
+                             "(default 200 Hz; overhead stays <5%%)")
+    parser.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="with 'profile': write collapsed stacks here "
+                             "(flamegraph.pl / speedscope format)")
+    parser.add_argument("--profile-top", type=int, default=15, metavar="N",
+                        help="with 'profile': rows in the self-time table "
+                             "(default 15)")
     parser.add_argument("--trace-out", default=None, metavar="FILE",
                         help="with 'trace'/'sweep': write Chrome-trace JSON "
                              "here (load in chrome://tracing or Perfetto; "
@@ -544,9 +678,27 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"JSONL event stream written to {args.trace_jsonl}")
             return 0
 
+        if args.target == "profile":
+            if args.subtarget is None:
+                print("error: 'profile' needs a target to profile, e.g. "
+                      "`python -m repro profile table2 --hz 200`",
+                      file=sys.stderr)
+                return 2
+            text, summary = _run_profiled(args.subtarget, args)
+            if not args.quiet:
+                print(text)
+                print()
+                print(summary)
+                if args.profile_out:
+                    print(f"\ncollapsed stacks written to {args.profile_out} "
+                          "(feed to flamegraph.pl or drop on "
+                          "https://www.speedscope.app)")
+            return 0
+
         if args.subtarget is not None:
             print(f"error: unexpected argument {args.subtarget!r} "
-                  f"(only 'trace' takes a second target)", file=sys.stderr)
+                  f"(only 'trace' and 'profile' take a second target)",
+                  file=sys.stderr)
             return 2
 
         targets = _TARGETS if args.target == "all" else [args.target]

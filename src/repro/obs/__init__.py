@@ -1,17 +1,23 @@
 """repro.obs — pipeline-wide tracing and metrics.
 
 :mod:`repro.obs.trace` is the zero-dependency recording core (spans,
-counters, gauges, simulated timelines) that the rest of the stack calls
-into; it is a cheap no-op until enabled.  :mod:`repro.obs.export` turns
-a recorded run into JSONL, Chrome-trace JSON (``chrome://tracing`` /
-Perfetto) or an ASCII summary.  :mod:`repro.obs.shard` ships worker
-recorders across process boundaries and merges them into one
-multi-process trace; :mod:`repro.obs.runs` is the persistent run
-registry behind ``python -m repro runs``.  See
-``docs/observability.md``.
+counters, gauges, histograms, simulated timelines) that the rest of the
+stack calls into; it is a cheap no-op until enabled.
+:mod:`repro.obs.export` turns a recorded run into JSONL, Chrome-trace
+JSON (``chrome://tracing`` / Perfetto) or an ASCII summary.
+:mod:`repro.obs.shard` ships worker recorders across process boundaries
+and merges them into one multi-process trace; :mod:`repro.obs.runs` is
+the persistent run registry behind ``python -m repro runs``.
+:mod:`repro.obs.memory` attaches RSS watermarks to spans,
+:mod:`repro.obs.profile` is the span-attributed sampling profiler, and
+:mod:`repro.obs.report` renders a recorded run as one self-contained
+HTML page.  See ``docs/observability.md``.
 """
 
 from . import runs, shard
+from .histogram import Histogram
+from .memory import MemoryMonitor, memory_enabled, monitored, rss_bytes
+from .profile import SamplingProfiler, profiled
 from .export import (
     chrome_trace_json,
     summary_table,
@@ -31,6 +37,7 @@ from .trace import (
     gauge,
     get_recorder,
     is_enabled,
+    observe,
     set_recorder,
     span,
     timeline_event,
@@ -39,6 +46,13 @@ from .trace import (
 __all__ = [
     "runs",
     "shard",
+    "Histogram",
+    "MemoryMonitor",
+    "memory_enabled",
+    "monitored",
+    "rss_bytes",
+    "SamplingProfiler",
+    "profiled",
     "Recorder",
     "SpanRecord",
     "TimelineEvent",
@@ -49,6 +63,7 @@ __all__ = [
     "gauge",
     "get_recorder",
     "is_enabled",
+    "observe",
     "set_recorder",
     "span",
     "timeline_event",

@@ -78,6 +78,14 @@ def to_jsonl(recorder: Recorder) -> str:
         lines.append(json.dumps(
             {"type": "gauge", "name": name, "value": _jsonable(value)}, sort_keys=True
         ))
+    for name, hist in sorted(recorder.histograms.items()):
+        lines.append(json.dumps(
+            {"type": "histogram", "name": name, **hist.to_dict()}, sort_keys=True
+        ))
+    for t, rss in sorted(recorder.memory_samples):
+        lines.append(json.dumps(
+            {"type": "memory", "t": t, "rss_bytes": int(rss)}, sort_keys=True
+        ))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -135,12 +143,31 @@ def to_chrome_trace(recorder: Recorder) -> dict:
             "name": e.name, "cat": e.track,
             "ts": e.ts, "dur": e.dur, "args": dict(_jsonable(e.args)),
         })
+    # RSS samples render as a Perfetto counter track on the pipeline
+    # process; histogram percentiles as one counter sample per metric.
+    for t, rss in sorted(recorder.memory_samples):
+        events.append({
+            "ph": "C", "pid": _PID_PIPELINE, "name": "mem.rss_mb",
+            "ts": t * 1e6, "args": {"rss_mb": round(rss / (1024.0 * 1024.0), 3)},
+        })
+    for name, hist in sorted(recorder.histograms.items()):
+        events.append({
+            "ph": "C", "pid": _PID_PIPELINE, "name": name, "ts": 0,
+            "args": {
+                "p50": hist.percentile(50),
+                "p90": hist.percentile(90),
+                "p99": hist.percentile(99),
+            },
+        })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
             "counters": dict(sorted(recorder.counters.items())),
             "gauges": {k: _jsonable(v) for k, v in sorted(recorder.gauges.items())},
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(recorder.histograms.items())
+            },
         },
     }
 
@@ -193,6 +220,33 @@ def summary_table(recorder: Recorder) -> str:
     if recorder.gauges:
         rows = [[name, str(_jsonable(value))] for name, value in sorted(recorder.gauges.items())]
         parts.append(render_table(["gauge", "value"], rows, "Gauges"))
+    if recorder.histograms:
+        rows = []
+        for name, hist in sorted(recorder.histograms.items()):
+            rows.append([
+                name, hist.count, f"{hist.mean:.3g}",
+                f"{hist.percentile(50):.3g}", f"{hist.percentile(90):.3g}",
+                f"{hist.percentile(99):.3g}", f"{hist.max:.3g}",
+            ])
+        parts.append(render_table(
+            ["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+            rows, "Histograms",
+        ))
+    if recorder.memory_samples:
+        samples = sorted(recorder.memory_samples)
+        mb = 1024.0 * 1024.0
+        peak_t, peak_rss = max(samples, key=lambda s: s[1])
+        rows = [[
+            len(samples),
+            f"{samples[0][1] / mb:.1f}",
+            f"{peak_rss / mb:.1f}",
+            f"{peak_t:.3f}",
+            f"{samples[-1][1] / mb:.1f}",
+        ]]
+        parts.append(render_table(
+            ["samples", "first MB", "peak MB", "peak at s", "last MB"],
+            rows, "Memory (RSS)",
+        ))
     if recorder.timeline:
         lanes = sorted({e.lane for e in recorder.timeline})
         t_end = max((e.ts + e.dur) for e in recorder.timeline)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import subprocess
 import time
 import uuid
@@ -39,6 +40,7 @@ __all__ = [
     "RUNS_SCHEMA_VERSION",
     "default_runs_dir",
     "git_sha",
+    "host_info",
     "record_run",
     "list_runs",
     "load_run",
@@ -49,7 +51,10 @@ __all__ = [
     "render_run_delta",
 ]
 
-RUNS_SCHEMA_VERSION = 1
+#: v2 added the ``host`` provenance block (hostname/platform/python/cpus)
+#: to every manifest.  Readers treat both versions alike — v1 manifests
+#: simply have no ``host`` key.
+RUNS_SCHEMA_VERSION = 2
 
 
 def default_runs_dir() -> Path:
@@ -74,6 +79,17 @@ def git_sha() -> str | None:
         return None
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else None
+
+
+def host_info() -> dict:
+    """Where a run was measured: enough to explain a timing delta that
+    is really a machine delta, nothing identifying beyond the hostname."""
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
 
 
 def _new_run_id(kind: str, created: float) -> str:
@@ -106,6 +122,7 @@ def record_run(
         "created_unix": created,
         "created": time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(created)),
         "git_sha": git_sha(),
+        "host": host_info(),
         "config": dict(config or {}),
         "matrices": dict(matrices or {}),
         "counters": {k: v for k, v in sorted((counters or {}).items())},
@@ -213,21 +230,17 @@ def compare_runs(old: dict, new: dict) -> list[dict]:
 def find_run_regressions(
     old: dict, new: dict, threshold: float | None = None
 ) -> list[str]:
-    """Stages of ``new`` slower than ``old`` by more than ``threshold``
-    (default: the bench harness's 25%), as human-readable strings."""
-    from ..perf.bench import REGRESSION_THRESHOLD
+    """Stages of ``new`` slower than ``old`` — or, for memory rows
+    (``unit: "mb"``), hungrier — by more than ``threshold`` (default:
+    the bench harness's 25%), as human-readable strings."""
+    from ..perf.bench import REGRESSION_THRESHOLD, describe_regression
 
     if threshold is None:
         threshold = REGRESSION_THRESHOLD
     out = []
     for row in compare_runs(old, new):
         if row["current_s"] > row["baseline_s"] * (1.0 + threshold):
-            out.append(
-                f"{row['matrix']}/{row['stage']}: "
-                f"{row['current_s'] * 1e3:.2f}ms vs baseline "
-                f"{row['baseline_s'] * 1e3:.2f}ms "
-                f"({row['current_s'] / row['baseline_s']:.2f}x slower)"
-            )
+            out.append(describe_regression(row))
     return out
 
 

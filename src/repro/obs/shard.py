@@ -32,6 +32,7 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .histogram import Histogram
 from .trace import Recorder, SpanRecord, TimelineEvent
 
 __all__ = [
@@ -46,7 +47,8 @@ __all__ = [
 
 #: Bump when the shard payload layout changes; :func:`unpack` rejects
 #: shards written by a different version instead of misreading them.
-SHARD_FORMAT_VERSION = 1
+#: v2 added histograms and the memory-sample timeline.
+SHARD_FORMAT_VERSION = 2
 
 #: Pickled shards at or above this size are spilled to a file and only
 #: the path travels through the process pool's result queue.
@@ -63,10 +65,19 @@ class RecorderShard:
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, object] = field(default_factory=dict)
     timeline: list[TimelineEvent] = field(default_factory=list)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    memory_samples: list[tuple[float, int]] = field(default_factory=list)
     format_version: int = SHARD_FORMAT_VERSION
 
     def is_empty(self) -> bool:
-        return not (self.spans or self.counters or self.gauges or self.timeline)
+        return not (
+            self.spans
+            or self.counters
+            or self.gauges
+            or self.timeline
+            or self.histograms
+            or self.memory_samples
+        )
 
 
 def snapshot(recorder: Recorder) -> RecorderShard:
@@ -78,6 +89,8 @@ def snapshot(recorder: Recorder) -> RecorderShard:
         counters=dict(recorder.counters),
         gauges=dict(recorder.gauges),
         timeline=list(recorder.timeline),
+        histograms=dict(recorder.histograms),
+        memory_samples=list(recorder.memory_samples),
     )
 
 
@@ -138,7 +151,10 @@ def merge_into(recorder: Recorder, shard: RecorderShard) -> None:
     the offset is their difference); spans keep their original thread
     ident and pick up the worker's pid so the exporter can give every
     worker its own lane group.  Counters accumulate; gauges last-write-
-    win, matching single-recorder semantics.
+    win, matching single-recorder semantics.  Histograms merge by
+    adding fixed-bucket counts; memory samples are rebased like spans
+    onto the parent's sample timeline (the merged stream is re-sorted
+    at export time, not here).
     """
     delta = shard.epoch_unix - recorder.epoch_unix
     for s in shard.spans:
@@ -158,3 +174,10 @@ def merge_into(recorder: Recorder, shard: RecorderShard) -> None:
         recorder.add_counter(name, value)
     for name, value in shard.gauges.items():
         recorder.set_gauge(name, value)
+    for name, hist in shard.histograms.items():
+        mine = recorder.histograms.get(name)
+        if mine is None:
+            mine = recorder.histograms[name] = Histogram()
+        mine.merge(hist)
+    for t, rss in shard.memory_samples:
+        recorder.memory_samples.append((t + delta, rss))

@@ -10,9 +10,18 @@ core used throughout the stack:
 * :func:`counter` — a named monotonically accumulated count
   (``counter("partition.units", 12)``);
 * :func:`gauge` — a named last-value-wins observation;
+* :func:`observe` — one sample of a named distribution, accumulated
+  into a fixed log-bucket :class:`~repro.obs.histogram.Histogram`
+  (``observe("perf.sweep.unit_ms", 12.5)``), so p50/p90/p99 survive
+  where a mean would average the skew away;
 * :func:`timeline_event` — an event with *caller-supplied* timestamps on
   a numbered lane, for simulated clocks (the schedule simulator emits
   one per unit block, so a run renders as a Gantt chart in Perfetto).
+
+When a :class:`repro.obs.memory.MemoryMonitor` is attached to the
+recorder, every span additionally records ``mem_peak_mb`` /
+``mem_delta_mb`` (and ``mem_alloc_kb`` in deep mode) in its args, and
+the recorder accumulates an RSS sample timeline in ``memory_samples``.
 
 Everything lands in a :class:`Recorder`.  Tracing is **off by default**
 and every entry point first checks a module-level flag, so the disabled
@@ -35,6 +44,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from .histogram import Histogram
+
 __all__ = [
     "SpanRecord",
     "TimelineEvent",
@@ -48,6 +59,7 @@ __all__ = [
     "span",
     "counter",
     "gauge",
+    "observe",
     "timeline_event",
 ]
 
@@ -99,16 +111,37 @@ class Recorder:
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, object] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.timeline: list[TimelineEvent] = []
+        #: ``(t_rel_epoch, rss_bytes)`` samples appended by an attached
+        #: :class:`repro.obs.memory.MemoryMonitor`.
+        self.memory_samples: list[tuple[float, int]] = []
+        #: The attached memory monitor (``None`` = no span watermarks).
+        self.memory = None
         self._lock = threading.Lock()
-        self._local = threading.local()
+        # Per-thread open-span stacks, keyed by thread ident in a plain
+        # dict (GIL-atomic get/set) rather than thread-local storage so
+        # the sampling profiler can read *other* threads' open spans.
+        self._stacks: dict[int, list] = {}
 
     # -- spans ----------------------------------------------------------
     def _stack(self) -> list:
-        stack = getattr(self._local, "stack", None)
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
         if stack is None:
-            stack = self._local.stack = []
+            stack = self._stacks[ident] = []
         return stack
+
+    def open_span_name(self, ident: int) -> str | None:
+        """Innermost open span name of thread ``ident`` (profiler use;
+        safe to call from any thread — worst case a stale answer)."""
+        stack = self._stacks.get(ident)
+        if not stack:
+            return None
+        try:
+            return stack[-1]._name
+        except IndexError:  # popped between the check and the read
+            return None
 
     def span(self, name: str, **args) -> "_Span":
         return _Span(self, name, args)
@@ -187,6 +220,14 @@ class Recorder:
         with self._lock:
             self.gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to the named fixed-log-bucket histogram."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
+
     # -- timelines ------------------------------------------------------
     def add_timeline_event(
         self, name: str, ts: float, dur: float, lane: int, track: str = "sim", **args
@@ -199,13 +240,20 @@ class Recorder:
         return [s for s in self.spans if s.name == name]
 
     def is_empty(self) -> bool:
-        return not (self.spans or self.counters or self.gauges or self.timeline)
+        return not (
+            self.spans
+            or self.counters
+            or self.gauges
+            or self.histograms
+            or self.timeline
+            or self.memory_samples
+        )
 
 
 class _Span:
     """Context manager recording one span on exit (exceptions included)."""
 
-    __slots__ = ("_rec", "_name", "_args", "_t0", "_depth", "_done")
+    __slots__ = ("_rec", "_name", "_args", "_t0", "_depth", "_done", "_mem")
 
     def __init__(self, rec: Recorder, name: str, args: dict):
         self._rec = rec
@@ -217,6 +265,8 @@ class _Span:
         stack = self._rec._stack()
         self._depth = len(stack)
         stack.append(self)
+        monitor = self._rec.memory
+        self._mem = None if monitor is None else monitor.mark()
         self._t0 = time.perf_counter() - self._rec.epoch
         return self
 
@@ -228,6 +278,9 @@ class _Span:
         stack = self._rec._stack()
         if stack and stack[-1] is self:
             stack.pop()
+        monitor = self._rec.memory
+        if self._mem is not None and monitor is not None:
+            self._args.update(monitor.since(self._mem))
         self._rec._record_span(
             SpanRecord(
                 name=self._name,
@@ -333,6 +386,13 @@ def gauge(name: str, value) -> None:
     if not _enabled:
         return
     _recorder.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Add one histogram sample (no-op when disabled)."""
+    if not _enabled:
+        return
+    _recorder.observe(name, value)
 
 
 def timeline_event(name: str, ts: float, dur: float, lane: int, track: str = "sim", **args) -> None:

@@ -11,7 +11,13 @@ every push.
 
 Each matrix entry also carries a result fingerprint (traffic total,
 imbalance, pair-update count) so a timing regression can be told apart
-from a semantics change.
+from a semantics change, and — when RSS is readable — memory
+watermarks: ``mem_peak_mb`` for the run, ``stage_mem_peak_mb`` per
+stage, and a downsampled RSS timeline for the HTML report.  Memory
+rows ride through :func:`compare_reports` with ``unit: "mb"``, so the
+25% regression gate catches a memory blow-up exactly like a slowdown.
+Stamped reports (the default) also record provenance: the git SHA and
+the host that measured them.
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ import time
 from pathlib import Path
 
 from ..core.pipeline import block_mapping, prepare
+from ..obs import runs as obs_runs
 from ..obs import trace as obs
+from ..obs.memory import MemoryMonitor, memory_enabled, monitored
 from ..obs.trace import Recorder
 from ..sparse import grid9
 from ..sparse import harwell_boeing as hb
@@ -38,6 +46,7 @@ __all__ = [
     "bench_sweep",
     "compare_reports",
     "compare_sweep_reports",
+    "describe_regression",
     "find_regressions",
     "render_bench",
     "render_delta",
@@ -73,7 +82,7 @@ SMOKE_MATRICES = {
 
 
 def _bench_once(name: str, graph, nprocs: int, grain: int) -> dict:
-    with obs.enabled(Recorder()) as rec:
+    with obs.enabled(Recorder()) as rec, monitored(rec):
         t0 = time.perf_counter()
         prepared = prepare(graph, name=name)
         prepared.updates  # noqa: B018 - forces the enumerate_updates stage
@@ -83,7 +92,7 @@ def _bench_once(name: str, graph, nprocs: int, grain: int) -> dict:
         stage: sum(s.duration for s in rec.spans_named(span_name))
         for stage, span_name in STAGES.items()
     }
-    return {
+    entry = {
         "n": int(graph.n),
         "factor_nnz": int(prepared.factor_nnz),
         "pair_updates": int(prepared.updates.num_pair_updates),
@@ -92,6 +101,36 @@ def _bench_once(name: str, graph, nprocs: int, grain: int) -> dict:
         "traffic_total": int(result.traffic.total),
         "imbalance": float(result.balance.imbalance),
     }
+    entry.update(_memory_fields(rec))
+    return entry
+
+
+def _memory_fields(rec: Recorder) -> dict:
+    """Watermark fields for a bench entry: run peak, per-stage peaks and
+    a downsampled RSS timeline; empty when memory tracking was off."""
+    out: dict = {}
+    peak = rec.gauges.get("mem.rss_peak_mb")
+    if isinstance(peak, (int, float)):
+        out["mem_peak_mb"] = float(peak)
+    stage_mem = {}
+    for stage, span_name in STAGES.items():
+        peaks = [
+            s.args.get("mem_peak_mb")
+            for s in rec.spans_named(span_name)
+            if isinstance(s.args.get("mem_peak_mb"), (int, float))
+        ]
+        if peaks:
+            stage_mem[stage] = max(peaks)
+    if stage_mem:
+        out["stage_mem_peak_mb"] = stage_mem
+    if len(rec.memory_samples) >= 2:
+        from ..obs.report import downsample
+
+        out["memory"] = [
+            [round(t, 4), round(rss / (1024.0 * 1024.0), 2)]
+            for t, rss in downsample(rec.memory_samples, limit=160)
+        ]
+    return out
 
 
 def _bench_one(name: str, graph, nprocs: int, grain: int, repeats: int) -> dict:
@@ -108,6 +147,17 @@ def _bench_one(name: str, graph, nprocs: int, grain: int, repeats: int) -> dict:
         stage: min(r["stages"][stage] for r in runs) for stage in STAGES
     }
     entry["wall_total"] = min(r["wall_total"] for r in runs)
+    # Memory watermarks are near-deterministic; best-of-N strips the
+    # occasional allocator/GC noise exactly like the timing min does.
+    peaks = [r["mem_peak_mb"] for r in runs if "mem_peak_mb" in r]
+    if peaks:
+        entry["mem_peak_mb"] = min(peaks)
+    stage_maps = [r["stage_mem_peak_mb"] for r in runs if "stage_mem_peak_mb" in r]
+    if stage_maps:
+        entry["stage_mem_peak_mb"] = {
+            stage: min(m[stage] for m in stage_maps if stage in m)
+            for stage in {k for m in stage_maps for k in m}
+        }
     return entry
 
 
@@ -150,10 +200,18 @@ def bench_pipeline(
         },
     }
     if stamp:
-        report["created_unix"] = time.time()
+        _stamp_provenance(report)
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
+
+
+def _stamp_provenance(report: dict) -> None:
+    """Creation time, git SHA and host info: enough to answer "what code
+    on what machine produced these numbers" from the file alone."""
+    report["created_unix"] = time.time()
+    report["git_sha"] = obs_runs.git_sha()
+    report["host"] = obs_runs.host_info()
 
 
 #: The paper-scale sweep grid timed by :func:`bench_sweep`: every
@@ -183,16 +241,25 @@ def _bench_sweep_one(name: str, grid: dict, cache_dir: str, repeats: int) -> dic
     wall_off = float("inf")
     wall_on = float("inf")
     reference = records = None
-    for _ in range(max(1, repeats)):
-        gc.collect()
-        t0 = time.perf_counter()
-        reference = sweep([name], cache_dir=cache_dir, reuse=False, **grid)
-        wall_off = min(wall_off, time.perf_counter() - t0)
-        gc.collect()
-        t0 = time.perf_counter()
-        records = sweep([name], cache_dir=cache_dir, reuse=True, **grid)
-        wall_on = min(wall_on, time.perf_counter() - t0)
-    return {
+    # A detached monitor (its recorder is never enabled) watches RSS
+    # without adding span-recording overhead to the timed loops.
+    monitor = MemoryMonitor(Recorder(), interval=0.02) if memory_enabled() else None
+    if monitor is not None:
+        monitor.start()
+    try:
+        for _ in range(max(1, repeats)):
+            gc.collect()
+            t0 = time.perf_counter()
+            reference = sweep([name], cache_dir=cache_dir, reuse=False, **grid)
+            wall_off = min(wall_off, time.perf_counter() - t0)
+            gc.collect()
+            t0 = time.perf_counter()
+            records = sweep([name], cache_dir=cache_dir, reuse=True, **grid)
+            wall_on = min(wall_on, time.perf_counter() - t0)
+    finally:
+        if monitor is not None:
+            monitor.stop()
+    entry = {
         "cells": len(records),
         "wall_noreuse": wall_off,
         "wall_reuse": wall_on,
@@ -200,6 +267,9 @@ def _bench_sweep_one(name: str, grid: dict, cache_dir: str, repeats: int) -> dic
         "records_identical": records == reference,
         "traffic_fingerprint": int(sum(r.traffic_total for r in records)),
     }
+    if monitor is not None and monitor.peak_rss:
+        entry["mem_peak_mb"] = round(monitor.peak_rss / (1024.0 * 1024.0), 2)
+    return entry
 
 
 def bench_sweep(
@@ -249,7 +319,7 @@ def bench_sweep(
         "speedup_overall": total_off / total_on if total_on else float("inf"),
     }
     if stamp:
-        report["created_unix"] = time.time()
+        _stamp_provenance(report)
     if out is not None:
         Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
@@ -276,26 +346,55 @@ def compare_sweep_reports(current: dict, baseline: dict) -> list[dict]:
                     "speedup": float(b) / float(c) if c else float("inf"),
                 }
             )
+        rows.extend(_memory_rows(name, base, cur))
     return rows
+
+
+def _memory_rows(name: str, base: dict, cur: dict) -> list[dict]:
+    """Peak-RSS delta rows (``unit: "mb"``) when both sides carry one.
+
+    The values travel in the ``baseline_s``/``current_s`` keys every
+    consumer already reads — :func:`find_regressions` and the runs gate
+    apply the same 25% threshold to megabytes as to seconds, and the
+    ``unit`` field tells renderers which suffix to print.
+    """
+    b, c = base.get("mem_peak_mb"), cur.get("mem_peak_mb")
+    if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+        return []
+    if b <= 0 or c <= 0:
+        return []
+    return [
+        {
+            "matrix": name,
+            "stage": "mem_peak",
+            "baseline_s": float(b),
+            "current_s": float(c),
+            "speedup": float(b) / float(c),
+            "unit": "mb",
+        }
+    ]
 
 
 def render_sweep_bench(report: dict) -> str:
     """ASCII summary of a sweep bench report."""
+    with_mem = any("mem_peak_mb" in e for e in report["matrices"].values())
     headers = ["matrix", "cells", "no-reuse ms", "reuse ms", "speedup", "identical"]
+    if with_mem:
+        headers.append("mem_peak_mb")
     lines = ["  ".join(f"{h:>12}" for h in headers)]
     for name, e in report["matrices"].items():
-        lines.append(
-            "  ".join(
-                [
-                    f"{name:>12}",
-                    f"{e['cells']:>12}",
-                    f"{e['wall_noreuse'] * 1e3:>12.1f}",
-                    f"{e['wall_reuse'] * 1e3:>12.1f}",
-                    f"{e['speedup']:>11.2f}x",
-                    f"{str(bool(e['records_identical'])):>12}",
-                ]
-            )
-        )
+        cells = [
+            f"{name:>12}",
+            f"{e['cells']:>12}",
+            f"{e['wall_noreuse'] * 1e3:>12.1f}",
+            f"{e['wall_reuse'] * 1e3:>12.1f}",
+            f"{e['speedup']:>11.2f}x",
+            f"{str(bool(e['records_identical'])):>12}",
+        ]
+        if with_mem:
+            mem = e.get("mem_peak_mb")
+            cells.append(f"{mem:>12.1f}" if mem is not None else f"{'-':>12}")
+        lines.append("  ".join(cells))
     mode = "smoke" if report.get("smoke") else "full"
     lines.append(
         f"(best-of-{report['repeats']} sweep walls, {mode} mode; "
@@ -357,23 +456,38 @@ def compare_reports(current: dict, baseline: dict) -> list[dict]:
                     "speedup": float(b) / float(c) if c else float("inf"),
                 }
             )
+        rows.extend(_memory_rows(name, base, cur))
     return rows
+
+
+def describe_regression(row: dict) -> str:
+    """One human-readable line for a regressed delta row (unit-aware:
+    timing rows print milliseconds, memory rows megabytes)."""
+    if row.get("unit") == "mb":
+        cur, base = row["current_s"], row["baseline_s"]
+        return (
+            f"{row['matrix']}/{row['stage']}: "
+            f"{cur:.1f}MB vs baseline {base:.1f}MB "
+            f"({cur / base:.2f}x more memory)"
+        )
+    return (
+        f"{row['matrix']}/{row['stage']}: "
+        f"{row['current_s'] * 1e3:.2f}ms vs baseline "
+        f"{row['baseline_s'] * 1e3:.2f}ms "
+        f"({row['current_s'] / row['baseline_s']:.2f}x slower)"
+    )
 
 
 def find_regressions(
     current: dict, baseline: dict, threshold: float = REGRESSION_THRESHOLD
 ) -> list[str]:
-    """Human-readable descriptions of stages slower than baseline by more
-    than ``threshold`` (fractional; 0.25 = 25%)."""
+    """Human-readable descriptions of stages slower (or, for ``mb``
+    rows, hungrier) than baseline by more than ``threshold``
+    (fractional; 0.25 = 25%)."""
     out = []
     for row in compare_reports(current, baseline):
         if row["current_s"] > row["baseline_s"] * (1.0 + threshold):
-            out.append(
-                f"{row['matrix']}/{row['stage']}: "
-                f"{row['current_s'] * 1e3:.2f}ms vs baseline "
-                f"{row['baseline_s'] * 1e3:.2f}ms "
-                f"({row['current_s'] / row['baseline_s']:.2f}x slower)"
-            )
+            out.append(describe_regression(row))
     return out
 
 
@@ -408,13 +522,19 @@ def render_delta(current: dict, baseline: dict) -> str:
 def render_bench(report: dict) -> str:
     """ASCII summary of a bench report (stage milliseconds per matrix)."""
     stage_names = list(STAGES)
+    with_mem = any("mem_peak_mb" in e for e in report["matrices"].values())
     headers = ["matrix", "n", "nnz(L)"] + stage_names + ["total"]
+    if with_mem:
+        headers.append("mem_peak_mb")
     lines = ["  ".join(f"{h:>18}" if i > 2 else f"{h:>10}" for i, h in enumerate(headers))]
     for name, entry in report["matrices"].items():
         cells = [f"{name:>10}", f"{entry['n']:>10}", f"{entry['factor_nnz']:>10}"]
         for stage in stage_names:
             cells.append(f"{entry['stages'][stage] * 1e3:>18.2f}")
         cells.append(f"{entry['wall_total'] * 1e3:>18.2f}")
+        if with_mem:
+            mem = entry.get("mem_peak_mb")
+            cells.append(f"{mem:>18.1f}" if mem is not None else f"{'-':>18}")
         lines.append("  ".join(cells))
     mode = "smoke" if report.get("smoke") else "full"
     lines.append(

@@ -17,12 +17,20 @@ fails validation, or was written by a different version is **ignored**
 
 Observability: loads and stores run under ``perf.cache.load`` /
 ``perf.cache.store`` spans and bump ``perf.cache.hit`` /
-``perf.cache.miss`` (plus ``perf.cache.store``) counters.
+``perf.cache.miss`` (plus ``perf.cache.store``) counters.  Alongside
+the per-run counters, a ``stats.json`` in the cache root keeps
+*advisory* lifetime hit/miss/store totals (best-effort: concurrent
+writers may drop increments, unwritable roots are ignored) read back by
+``python -m repro cache stats``.  Entry files are mtime-touched on
+every hit, which makes :func:`prune_cache` — ``python -m repro cache
+prune --max-bytes N`` — a true LRU: it evicts the least recently *used*
+entries, not merely the oldest written.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import tempfile
 import zipfile
@@ -51,9 +59,12 @@ __all__ = [
     "PartitionCache",
     "cached_prepare",
     "cached_partition",
+    "cache_stats",
     "default_cache_dir",
     "prepare_key",
     "partition_key",
+    "prune_cache",
+    "render_cache_stats",
 ]
 
 #: Bump whenever the on-disk payload layout or the semantics of any
@@ -67,6 +78,39 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro-prepare"
+
+
+def _bump_stats(root: Path, field: str) -> None:
+    """Advisory lifetime counter bump in ``<root>/stats.json``.
+
+    Best-effort by design: racing writers may lose an increment and a
+    read-only root is silently skipped — the counters inform ``cache
+    stats``, they never gate correctness.
+    """
+    path = root / "stats.json"
+    try:
+        try:
+            doc = json.loads(path.read_text())
+            if not isinstance(doc, dict):
+                doc = {}
+        except (OSError, ValueError):
+            doc = {}
+        doc[field] = int(doc.get(field, 0)) + 1
+        root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=root, suffix=".json.tmp")
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def _touch(path: Path) -> None:
+    """Refresh an entry's mtime on hit so LRU pruning sees real usage."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
 
 
 def prepare_key(graph: SymmetricGraph, ordering: str) -> str:
@@ -125,8 +169,11 @@ class PrepareCache:
                 if not isinstance(exc, FileNotFoundError):
                     obs.counter("perf.cache.invalid")
                 obs.counter("perf.cache.miss")
+                _bump_stats(self.root, "prepare.miss")
                 return None
         obs.counter("perf.cache.hit")
+        _bump_stats(self.root, "prepare.hit")
+        _touch(path)
         return PreparedMatrix(
             name=name or "matrix",
             graph=graph,
@@ -159,6 +206,7 @@ class PrepareCache:
                     os.unlink(tmp)
                 raise
         obs.counter("perf.cache.store")
+        _bump_stats(self.root, "prepare.store")
         return path
 
 
@@ -230,8 +278,11 @@ class PartitionCache:
                 if not isinstance(exc, FileNotFoundError):
                     obs.counter("perf.cache.partition.invalid")
                 obs.counter("perf.cache.partition.miss")
+                _bump_stats(self.root, "partition.miss")
                 return None
         obs.counter("perf.cache.partition.hit")
+        _bump_stats(self.root, "partition.hit")
+        _touch(path)
         return partitioned
 
     def _rebuild(
@@ -451,6 +502,7 @@ class PartitionCache:
                     os.unlink(tmp)
                 raise
         obs.counter("perf.cache.partition.store")
+        _bump_stats(self.root, "partition.store")
         return path
 
 
@@ -494,3 +546,111 @@ def cached_prepare(
     prepared = prepare(graph, ordering=ordering, name=name)
     cache.store(graph, ordering, prepared)
     return prepared
+
+
+def _cache_entries(root: Path) -> list[tuple[Path, int, float]]:
+    """Every ``.npz`` entry under the two-level fanout as
+    ``(path, size_bytes, mtime)``; unreadable files are skipped."""
+    entries: list[tuple[Path, int, float]] = []
+    if not root.is_dir():
+        return entries
+    for shard in sorted(root.iterdir()):
+        if not (shard.is_dir() and len(shard.name) == 2):
+            continue
+        for path in sorted(shard.glob("*.npz")):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((path, st.st_size, st.st_mtime))
+    return entries
+
+
+def cache_stats(root: str | Path | None = None) -> dict:
+    """Snapshot of the cache directory: entry counts and bytes split by
+    kind (prepare vs partition), plus the advisory lifetime hit/miss
+    counters from ``stats.json``."""
+    base = Path(root) if root is not None else default_cache_dir()
+    prep_n = prep_b = part_n = part_b = 0
+    for path, size, _ in _cache_entries(base):
+        if path.name.endswith(".part.npz"):
+            part_n += 1
+            part_b += size
+        else:
+            prep_n += 1
+            prep_b += size
+    try:
+        counters = json.loads((base / "stats.json").read_text())
+        if not isinstance(counters, dict):
+            counters = {}
+    except (OSError, ValueError):
+        counters = {}
+    return {
+        "root": str(base),
+        "prepare": {"entries": prep_n, "bytes": prep_b},
+        "partition": {"entries": part_n, "bytes": part_b},
+        "total_bytes": prep_b + part_b,
+        "counters": {k: counters[k] for k in sorted(counters)},
+    }
+
+
+def prune_cache(root: str | Path | None = None, max_bytes: int = 0) -> dict:
+    """Evict least-recently-used entries until the cache fits
+    ``max_bytes``.
+
+    Hits refresh an entry's mtime (:func:`_touch`), so mtime order *is*
+    recency order.  Newest entries are kept while they fit the budget;
+    everything older is deleted.  Returns ``{"removed", "freed_bytes",
+    "kept", "kept_bytes"}``.
+    """
+    base = Path(root) if root is not None else default_cache_dir()
+    entries = _cache_entries(base)
+    entries.sort(key=lambda e: e[2], reverse=True)  # newest first
+    kept = removed = freed = kept_bytes = 0
+    budget = max(0, int(max_bytes))
+    for path, size, _ in entries:
+        if kept_bytes + size <= budget:
+            kept += 1
+            kept_bytes += size
+            continue
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        freed += size
+    return {
+        "removed": removed,
+        "freed_bytes": freed,
+        "kept": kept,
+        "kept_bytes": kept_bytes,
+    }
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{int(n)}B"
+
+
+def render_cache_stats(stats: dict) -> str:
+    """ASCII summary of :func:`cache_stats` for ``repro cache stats``."""
+    lines = [f"cache root: {stats['root']}"]
+    for kind in ("prepare", "partition"):
+        block = stats.get(kind, {})
+        lines.append(
+            f"  {kind:<9}  {block.get('entries', 0):>5} entries"
+            f"  {_fmt_bytes(block.get('bytes', 0)):>10}"
+        )
+    lines.append(f"  {'total':<9}  {'':>5}         {_fmt_bytes(stats.get('total_bytes', 0)):>10}")
+    counters = stats.get("counters", {})
+    if counters:
+        lines.append("lifetime counters:")
+        for key in sorted(counters):
+            lines.append(f"  {key:<18} {counters[key]}")
+    else:
+        lines.append("lifetime counters: (none recorded)")
+    return "\n".join(lines)

@@ -35,7 +35,13 @@ the parent's, and the parent synthesizes ``pool.queue_wait`` spans
 (submit -> worker start) per unit plus one ``pool.utilization`` span
 per worker lane.  Each finished unit also lands as a ``perf.sweep``
 timeline event, and pool efficiency is reported via the
-``perf.sweep.pool_utilization`` gauge.  A worker that fails mid-task
+``perf.sweep.pool_utilization`` gauge.  Per-unit wall times and queue
+waits also land in fixed-bucket histograms (``perf.sweep.unit_ms``,
+``perf.sweep.queue_wait_ms``) so their p50/p90/p99 survive aggregation,
+and each worker runs under a :class:`repro.obs.memory.MemoryMonitor`
+when RSS is readable, so worker spans carry ``mem_peak_mb`` and worker
+RSS samples merge onto the parent's timeline.  A worker that fails
+mid-task
 drains its open span stack into the shard (the in-flight span is
 recorded with its error, never dropped) and ships the shard home on the
 exception before the parent retries.
@@ -67,6 +73,7 @@ from ..core.pipeline import (
 )
 from ..obs import shard as obs_shard
 from ..obs import trace as obs
+from ..obs.memory import MemoryMonitor, memory_enabled
 from ..sparse import harwell_boeing as hb
 from .cache import cached_partition, cached_prepare
 
@@ -334,6 +341,11 @@ def _run_unit(index: int, unit, cache_dir, collect, spill_dir, grouped: bool):
     t0 = time.perf_counter()
     t0_unix = time.time()
     with obs.enabled(obs.Recorder()) as rec:
+        # Worker-side memory watermarks: spans pick up mem_peak_mb and
+        # the RSS samples ride home in the shard (rebased on merge).
+        monitor = MemoryMonitor(rec, interval=0.01) if memory_enabled() else None
+        if monitor is not None:
+            monitor.start()
         try:
             if grouped:
                 with obs.span(
@@ -342,10 +354,14 @@ def _run_unit(index: int, unit, cache_dir, collect, spill_dir, grouped: bool):
                     payload = _measure_group(
                         unit, cache_dir, _WORKER_PREPARED, _WORKER_PARTITIONED
                     )
-            else:
+            if not grouped:
                 with obs.span("perf.sweep.task", label=unit.label()):
                     payload = _measure(unit, cache_dir, _WORKER_PREPARED)
+            if monitor is not None:
+                monitor.stop()
         except Exception as exc:
+            if monitor is not None and rec.memory is monitor:
+                monitor.stop()
             rec.drain_open_spans(error=type(exc).__name__)
             stats = _worker_stats(rec, t0, t0_unix, collect, spill_dir)
             raise SweepWorkerError(
@@ -413,16 +429,20 @@ def _sweep_serial(
         if not reuse:
             records = []
             for task in tasks:
+                t0 = time.perf_counter()
                 with obs.span("perf.sweep.task", label=task.label()):
                     records.append(_measure(task, cache_str, memo))
+                obs.observe("perf.sweep.unit_ms", 1e3 * (time.perf_counter() - t0))
             return records
         part_memo: dict[tuple[str, str, int, int], PartitionedMatrix] = {}
         results: list[SweepRecord | None] = [None] * len(tasks)
         for group in group_grid(tasks):
+            t0 = time.perf_counter()
             with obs.span(
                 "perf.sweep.group", label=group.label(), cells=len(group.procs)
             ):
                 group_records = _measure_group(group, cache_str, memo, part_memo)
+            obs.observe("perf.sweep.unit_ms", 1e3 * (time.perf_counter() - t0))
             for index, record in zip(group.indices, group_records):
                 results[index] = record
     return _collect(results, tasks)
@@ -513,6 +533,7 @@ def _sweep_parallel(
                     else:
                         results[index] = payload
                     busy += stats["elapsed"]
+                    obs.observe("perf.sweep.unit_ms", 1e3 * stats["elapsed"])
                     hits += stats["cache_hit"]
                     misses += stats["cache_miss"]
                     reuse_hits += stats["reuse_hit"]
@@ -596,6 +617,7 @@ def _merge_worker_trace(
             pid=worker_shard.pid,
             args={"unit": label, "index": index},
         )
+        obs.observe("perf.sweep.queue_wait_ms", 1e3 * (q1 - q0))
 
 
 def _retry_task(unit: tuple[str, SweepTask], cache_str: str | None) -> SweepRecord:

@@ -1,0 +1,137 @@
+"""obs.profile: span-attributed stack sampling and its output views."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import MAX_DEPTH, NO_SPAN, SamplingProfiler, profiled
+from repro.obs.trace import Recorder
+
+
+def _spin(seconds: float) -> None:
+    """Busy work the sampler can catch red-handed."""
+    deadline = time.perf_counter() + seconds
+    x = 0
+    while time.perf_counter() < deadline:
+        x += 1
+
+
+class TestLifecycle:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="sampling rate"):
+            SamplingProfiler(hz=0)
+
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(hz=50)
+        prof.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_context_manager_collects_samples(self):
+        with profiled(hz=400) as prof:
+            _spin(0.08)
+        assert prof.nsamples > 0
+        assert prof.duration >= 0.08
+
+    def test_stop_without_samples_is_safe(self):
+        prof = SamplingProfiler(hz=400)
+        prof.start()
+        prof.stop()
+        assert "(no samples" in prof.table() or prof.nsamples > 0
+
+    def test_adopts_active_recorder(self):
+        rec = Recorder()
+        with obs.enabled(rec):
+            prof = SamplingProfiler(hz=100)
+            prof.start()
+            prof.stop()
+        assert prof.recorder is rec
+
+
+class TestSpanAttribution:
+    def test_samples_tagged_with_open_span(self):
+        rec = Recorder()
+        with obs.enabled(rec):
+            with profiled(hz=400, recorder=rec) as prof:
+                with obs.span("pipeline.dependencies"):
+                    _spin(0.08)
+        spans = {span for (span, _stack) in prof.samples}
+        assert "pipeline.dependencies" in spans
+
+    def test_unspanned_work_tagged_no_span(self):
+        with profiled(hz=400) as prof:
+            _spin(0.08)
+        spans = {span for (span, _stack) in prof.samples}
+        assert spans == {NO_SPAN}
+
+    def test_observer_threads_never_sampled(self):
+        # A thread named like the memory monitor must be invisible.
+        stop = threading.Event()
+        decoy = threading.Thread(
+            target=lambda: stop.wait(2.0), name="repro-obs-memory", daemon=True
+        )
+        decoy.start()
+        with profiled(hz=400) as prof:
+            _spin(0.05)
+        stop.set()
+        decoy.join()
+        for (_span, stack) in prof.samples:
+            assert not any("repro-obs" in f for f in stack)
+
+
+class TestViews:
+    @pytest.fixture(scope="class")
+    def prof(self):
+        rec = Recorder()
+        with obs.enabled(rec):
+            with profiled(hz=400, recorder=rec) as prof:
+                with obs.span("hot.stage"):
+                    _spin(0.1)
+        assert prof.nsamples > 0
+        return prof
+
+    def test_collapsed_has_span_roots_and_counts(self, prof):
+        text = prof.collapsed()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert frames.startswith("span:")
+        assert any(line.startswith("span:hot.stage;")
+                   for line in text.splitlines())
+
+    def test_collapsed_without_span_root(self, prof):
+        text = prof.collapsed(with_span_root=False)
+        assert text and not any(
+            line.startswith("span:") for line in text.splitlines()
+        )
+
+    def test_stacks_are_root_first(self, prof):
+        # The sampler runs inside this pytest process, so every stack's
+        # root frame is the interpreter/pytest entry, not _spin.
+        for (_span, stack) in prof.samples:
+            assert len(stack) <= MAX_DEPTH + 1
+            assert "_spin" not in stack[0]
+
+    def test_self_time_rows(self, prof):
+        rows = prof.self_time()
+        assert rows[0]["samples"] >= rows[-1]["samples"]  # heaviest first
+        assert sum(r["samples"] for r in rows) == prof.nsamples
+        assert abs(sum(r["pct"] for r in rows) - 100.0) < 1e-6
+        # The busy loop dominates self time.
+        assert "_spin" in rows[0]["func"]
+        assert rows[0]["span"] == "hot.stage"
+
+    def test_table_and_to_dict(self, prof):
+        text = prof.table(top=5)
+        assert "samples" in text and "_spin" in text
+        doc = prof.to_dict(top=3)
+        assert doc["hz"] == 400.0
+        assert doc["nsamples"] == prof.nsamples
+        assert len(doc["top"]) <= 3
+        assert all(isinstance(r["pct"], float) for r in doc["top"])

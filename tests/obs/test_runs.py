@@ -48,6 +48,15 @@ class TestRecordRun:
         m = runs.record_run("sweep", extra={"cells": 12})
         assert m["cells"] == 12
 
+    def test_manifest_carries_host_provenance(self, registry):
+        m = runs.record_run("sweep")
+        host = m["host"]
+        assert set(host) == {"hostname", "platform", "python", "cpus"}
+        assert host["python"].count(".") == 2
+        assert host["cpus"] >= 1
+        # v1 manifests (no host key) must still load and compare.
+        assert runs.RUNS_SCHEMA_VERSION == 2
+
 
 class TestListRuns:
     def test_empty_registry(self, registry):
@@ -162,6 +171,59 @@ class TestRender:
     def test_show_round_trips_json(self, registry):
         a = runs.record_run("sweep")
         assert json.loads(runs.render_run(a)) == a
+
+
+class TestMemoryRegressionGate:
+    """Peak-RSS rides the same compare/gate machinery as timings: a run
+    that got >=25% hungrier fails ``runs compare --fail-on-regression``
+    even when every stage got faster."""
+
+    @staticmethod
+    def _with_mem(scale, mem_mb):
+        matrices = _manifest_matrices(scale)
+        matrices["LAP30"]["mem_peak_mb"] = mem_mb
+        return {"matrices": matrices}
+
+    def test_memory_rows_carry_the_mb_unit(self):
+        rows = runs.compare_runs(self._with_mem(1.0, 100.0),
+                                 self._with_mem(1.0, 140.0))
+        (mem,) = [r for r in rows if r["stage"] == "mem_peak"]
+        assert mem["unit"] == "mb"
+        assert mem["baseline_s"] == 100.0 and mem["current_s"] == 140.0
+
+    def test_injected_memory_regression_fails_the_gate(self, tmp_path):
+        from repro.cli import main
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        # Timings *improve* 2x while memory blows up 40% — the gate must
+        # still fail, and on the memory row specifically.
+        old.write_text(json.dumps(self._with_mem(1.0, 100.0)))
+        new.write_text(json.dumps(self._with_mem(0.5, 140.0)))
+        assert main(["runs", "compare", str(old), str(new),
+                     "--fail-on-regression"]) == 1
+
+    def test_memory_within_threshold_passes(self, tmp_path):
+        from repro.cli import main
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(self._with_mem(1.0, 100.0)))
+        new.write_text(json.dumps(self._with_mem(1.0, 110.0)))  # +10% < 25%
+        assert main(["runs", "compare", str(old), str(new),
+                     "--fail-on-regression"]) == 0
+
+    def test_regression_message_speaks_megabytes(self):
+        found = runs.find_run_regressions(self._with_mem(1.0, 100.0),
+                                          self._with_mem(1.0, 160.0))
+        (line,) = [l for l in found if "mem_peak" in l]
+        assert "MB" in line and "more memory" in line
+
+    def test_runs_without_memory_fields_are_unaffected(self):
+        old = {"matrices": _manifest_matrices(1.0)}
+        new = {"matrices": _manifest_matrices(1.0)}
+        rows = runs.compare_runs(old, new)
+        assert all(r["stage"] != "mem_peak" for r in rows)
 
 
 def _report_file(tmp_path, name, scale):

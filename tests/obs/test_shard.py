@@ -128,6 +128,78 @@ class TestMerge:
         (e,) = parent.timeline
         assert (e.ts, e.dur, e.lane, e.track) == (3.0, 2.0, 1, "perf.sweep")
 
+    def test_histograms_merge_by_bucket_addition(self):
+        parent = Recorder()
+        child = Recorder()
+        with obs.enabled(parent):
+            obs.observe("perf.sweep.unit_ms", 1.0)
+        with obs.enabled(child):
+            obs.observe("perf.sweep.unit_ms", 100.0)
+            obs.observe("perf.sweep.queue_wait_ms", 5.0)
+        merge_into(parent, snapshot(child))
+        merged = parent.histograms["perf.sweep.unit_ms"]
+        assert merged.count == 2
+        assert merged.min == 1.0 and merged.max == 100.0
+        assert parent.histograms["perf.sweep.queue_wait_ms"].count == 1
+
+    def test_memory_samples_rebase_like_spans(self):
+        parent = Recorder()
+        child = Recorder()
+        child.epoch_unix = parent.epoch_unix + 5.0
+        child.memory_samples.append((1.0, 64 * 1024 * 1024))
+        merge_into(parent, snapshot(child))
+        ((t, rss),) = parent.memory_samples
+        assert t == pytest.approx(6.0)
+        assert rss == 64 * 1024 * 1024
+
+
+class TestWorkerDiedMidSpan:
+    """A worker that dies with spans still open must still merge
+    cleanly: the drained spans arrive error-tagged and the combined
+    timeline stays monotonic (every span start <= end, rebased into the
+    parent's window)."""
+
+    def _dying_worker_shard(self, parent: Recorder) -> RecorderShard:
+        child = Recorder()
+        child.epoch_unix = parent.epoch_unix + 2.0
+        with obs.enabled(child):
+            child.span("perf.sweep.task", label="DWT512/block/P4").__enter__()
+            child.span("pipeline.schedule").__enter__()
+            # The crash: nothing exits; the pool's cleanup drains.
+            child.drain_open_spans(error="WorkerDied")
+        return snapshot(child)
+
+    def test_drained_spans_arrive_error_tagged(self):
+        parent = Recorder()
+        sh = self._dying_worker_shard(parent)
+        merge_into(parent, sh)
+        assert len(parent.spans) == 2
+        for s in parent.spans:
+            assert s.error == "WorkerDied"
+            assert s.pid == sh.pid
+        (task,) = parent.spans_named("perf.sweep.task")
+        assert task.args["label"] == "DWT512/block/P4"
+
+    def test_merged_timeline_is_monotonic(self):
+        parent = Recorder()
+        with obs.enabled(parent):
+            with obs.span("parent.work"):
+                pass
+        merge_into(parent, self._dying_worker_shard(parent))
+        horizon = max(s.end for s in parent.spans)
+        for s in parent.spans:
+            assert s.end >= s.start  # drained spans close at drain time
+            assert -1.0 <= s.start <= horizon + 3.0
+
+    def test_dead_worker_shard_exports_cleanly(self):
+        parent = Recorder()
+        merge_into(parent, self._dying_worker_shard(parent))
+        doc = to_chrome_trace(parent)
+        assert json.dumps(doc)
+        errored = [e for e in doc["traceEvents"]
+                   if e["ph"] == "X" and e["args"].get("error")]
+        assert len(errored) == 2
+
 
 class TestDrainOpenSpans:
     def test_records_open_spans_and_neutralizes_late_exit(self):
@@ -172,8 +244,17 @@ def _is_work_span(s) -> bool:
 
 
 def _work_span_keys(rec: Recorder) -> list[tuple]:
+    # Memory watermarks (mem_peak_mb, ...) are measurement artifacts
+    # like timestamps: present only where a monitor was attached and
+    # never identical across placements, so parity excludes them.
     return sorted(
-        (s.name, json.dumps(s.args, sort_keys=True, default=str))
+        (
+            s.name,
+            json.dumps(
+                {k: v for k, v in s.args.items() if not k.startswith("mem_")},
+                sort_keys=True, default=str,
+            ),
+        )
         for s in rec.spans
         if _is_work_span(s)
     )

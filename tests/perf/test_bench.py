@@ -56,6 +56,41 @@ class TestSmokeReport:
         assert "enumerate_updates" in text
         assert "smoke mode" in text
 
+    def test_render_has_memory_column(self, report):
+        assert "mem_peak_mb" in render_bench(report)
+
+
+class TestMemoryWatermarks:
+    def test_every_matrix_reports_peak_rss(self, report):
+        from repro.obs.memory import memory_enabled
+
+        if not memory_enabled():
+            pytest.skip("RSS unreadable on this platform")
+        for entry in report["matrices"].values():
+            assert entry["mem_peak_mb"] > 0
+            # The run-level peak dominates every stage's peak.
+            stage_mem = entry["stage_mem_peak_mb"]
+            assert stage_mem
+            assert entry["mem_peak_mb"] >= max(stage_mem.values()) * 0.5
+            for stage in stage_mem:
+                assert stage in STAGES
+
+    def test_memory_timeline_is_downsampled_pairs(self, report):
+        from repro.obs.memory import memory_enabled
+
+        if not memory_enabled():
+            pytest.skip("RSS unreadable on this platform")
+        for entry in report["matrices"].values():
+            samples = entry["memory"]
+            assert 2 <= len(samples) <= 162
+            for t, mb in samples:
+                assert t >= 0.0 and mb > 0
+
+    def test_provenance_stamped(self, report):
+        assert report["git_sha"] is None or len(report["git_sha"]) == 40
+        assert set(report["host"]) == {"hostname", "platform", "python", "cpus"}
+        assert report["created_unix"] > 0
+
 
 class TestMatrixSelection:
     def test_explicit_matrix_list(self, tmp_path):
@@ -65,9 +100,10 @@ class TestMatrixSelection:
 
 
 class TestReproducibility:
-    def test_stamp_false_omits_created_unix(self):
+    def test_stamp_false_omits_provenance(self):
         report = bench_pipeline(smoke=True, out=None, stamp=False)
         assert "created_unix" not in report
+        assert "git_sha" not in report and "host" not in report
         assert report["repeats"] == 1
 
     def test_repeats_recorded(self):
@@ -90,7 +126,8 @@ class TestBaselineComparison:
         rows = compare_reports(current, baseline)
         assert rows, "expected comparable matrices"
         stages = {r["stage"] for r in rows}
-        assert stages == set(STAGES) | {"wall_total"}
+        # mem_peak rows appear only where both sides measured RSS.
+        assert stages - {"mem_peak"} == set(STAGES) | {"wall_total"}
         for row in rows:
             assert row["matrix"] in SMOKE_MATRICES
             if row["baseline_s"] > 0 and row["current_s"] > 0:

@@ -261,3 +261,122 @@ class TestDefaultDir:
     def test_fallback_under_home(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert cache_mod.default_cache_dir().name == "repro-prepare"
+
+
+class TestStatsAndPrune:
+    def _warm(self, root, graph, prepared):
+        cached_prepare(graph, "mmd", "g", root)   # store
+        cached_prepare(graph, "mmd", "g", root)   # hit
+        cached_partition(prepared, cache_dir=root)  # store
+        cached_partition(prepared, cache_dir=root)  # hit
+        cached_prepare(grid9(7, 8), "mmd", "g2", root)  # second prepare entry
+
+    def test_stats_counts_entries_and_bytes_by_kind(self, tmp_path, graph, prepared):
+        self._warm(tmp_path, graph, prepared)
+        stats = cache_mod.cache_stats(tmp_path)
+        assert stats["root"] == str(tmp_path)
+        assert stats["prepare"]["entries"] == 2
+        assert stats["partition"]["entries"] == 1
+        assert stats["prepare"]["bytes"] > 0
+        assert stats["total_bytes"] == (
+            stats["prepare"]["bytes"] + stats["partition"]["bytes"]
+        )
+
+    def test_stats_lifetime_counters(self, tmp_path, graph, prepared):
+        self._warm(tmp_path, graph, prepared)
+        counters = cache_mod.cache_stats(tmp_path)["counters"]
+        assert counters["prepare.hit"] == 1
+        assert counters["prepare.miss"] == 2
+        assert counters["prepare.store"] == 2
+        assert counters["partition.hit"] == 1
+        assert counters["partition.miss"] == 1
+        assert counters["partition.store"] == 1
+
+    def test_stats_on_empty_or_missing_root(self, tmp_path):
+        stats = cache_mod.cache_stats(tmp_path / "never-created")
+        assert stats["total_bytes"] == 0
+        assert stats["counters"] == {}
+        assert "(none recorded)" in cache_mod.render_cache_stats(stats)
+
+    def test_corrupt_stats_file_is_ignored(self, tmp_path, graph, prepared):
+        self._warm(tmp_path, graph, prepared)
+        (tmp_path / "stats.json").write_text("{broken")
+        assert cache_mod.cache_stats(tmp_path)["counters"] == {}
+        # The next bump recovers rather than crashing.
+        cached_prepare(graph, "mmd", "g", tmp_path)
+        assert cache_mod.cache_stats(tmp_path)["counters"]["prepare.hit"] == 1
+
+    def test_prune_evicts_lru_first(self, tmp_path, graph, prepared):
+        import os
+        import time
+
+        self._warm(tmp_path, graph, prepared)
+        entries = cache_mod._cache_entries(tmp_path)
+        assert len(entries) == 3
+        # Age every entry, then re-hit one: the hit's mtime-touch must
+        # protect it from the prune while the untouched ones go.
+        old = time.time() - 3600
+        for path, _, _ in entries:
+            os.utime(path, (old, old))
+        kept_alive = cached_prepare(graph, "mmd", "g", tmp_path)
+        assert kept_alive.pattern.nnz > 0
+        keep_size = cache_mod.PrepareCache(tmp_path).path_for(
+            prepare_key(graph, "mmd")).stat().st_size
+        result = cache_mod.prune_cache(tmp_path, max_bytes=keep_size)
+        assert result["kept"] == 1 and result["removed"] == 2
+        assert result["freed_bytes"] > 0
+        # The survivor is exactly the re-hit entry.
+        (survivor,) = cache_mod._cache_entries(tmp_path)
+        assert survivor[0] == cache_mod.PrepareCache(tmp_path).path_for(
+            prepare_key(graph, "mmd"))
+
+    def test_prune_to_zero_clears_everything(self, tmp_path, graph, prepared):
+        self._warm(tmp_path, graph, prepared)
+        result = cache_mod.prune_cache(tmp_path, max_bytes=0)
+        assert result["kept"] == 0
+        assert cache_mod.cache_stats(tmp_path)["total_bytes"] == 0
+        # Pruned entries are plain misses afterwards, not errors.
+        assert cached_prepare(graph, "mmd", "g", tmp_path).pattern.nnz > 0
+
+    def test_prune_noop_within_budget(self, tmp_path, graph, prepared):
+        self._warm(tmp_path, graph, prepared)
+        result = cache_mod.prune_cache(tmp_path, max_bytes=1 << 30)
+        assert result["removed"] == 0 and result["kept"] == 3
+
+    def test_render_mentions_kinds_and_counters(self, tmp_path, graph, prepared):
+        self._warm(tmp_path, graph, prepared)
+        text = cache_mod.render_cache_stats(cache_mod.cache_stats(tmp_path))
+        assert "prepare" in text and "partition" in text
+        assert "prepare.hit" in text and str(tmp_path) in text
+
+
+class TestCacheCli:
+    def test_stats_and_prune_subcommands(self, tmp_path, graph, capsys):
+        from repro.cli import main
+
+        cached_prepare(graph, "mmd", "g", tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "prepare" in out and "1 entries" in out
+        assert main(["cache", "prune", "--max-bytes", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "pruned 1 entries" in capsys.readouterr().out
+
+    def test_max_bytes_accepts_suffixes(self, tmp_path, capsys):
+        from repro.cli import _parse_bytes, main
+
+        assert _parse_bytes("512") == 512
+        assert _parse_bytes("64K") == 64 * 1024
+        assert _parse_bytes("1.5M") == int(1.5 * 1024 * 1024)
+        assert _parse_bytes("2G") == 2 * 1024**3
+        assert main(["cache", "prune", "--max-bytes", "1G",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_bad_size_is_a_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--max-bytes", "lots",
+                  "--cache-dir", str(tmp_path)])
+        assert "invalid size" in capsys.readouterr().err

@@ -1,0 +1,92 @@
+"""Acceptance: 200 Hz sampling costs <= 5% on the CANN1072 pipeline.
+
+The profiler's design claim is "no sys.settrace, no bytecode hooks, so
+the profiled code runs at native speed" — this test holds it to the
+number the docs quote.  The workload is the full prepare+partition
+pipeline on CANN1072 (the largest Harwell-Boeing matrix in the paper's
+set), repeated until each timed unit is ~1s long, so per-sample cost
+dominates start/stop and scheduler noise.  The two arms are
+*interleaved* (plain, profiled, plain, profiled, ...) with best-of-5 on
+each, so slow host drift — thermal throttling, a noisy CI neighbor —
+hits both arms alike instead of biasing whichever ran second.
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro.core import partition_prepared, prepare
+from repro.obs.profile import SamplingProfiler
+from repro.sparse import load
+
+HZ = 200.0
+OVERHEAD_BAR = 0.05
+
+#: One pipeline run is ~0.1s; time 8 back-to-back so the measured unit
+#: (~1s) is long against timer jitter and scheduler quanta.
+PIPELINE_REPEATS = 8
+
+
+def _pipeline(graph, repeats=PIPELINE_REPEATS):
+    for _ in range(repeats):
+        prepared = prepare(graph, ordering="mmd", name="CANN1072")
+        partition_prepared(prepared, grain=4, min_width=4)
+
+
+def _timed(fn):
+    gc.collect()  # don't let one arm inherit the other's garbage
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+@pytest.mark.slow
+def test_sampling_overhead_under_five_percent():
+    graph = load("CANN1072")
+    _pipeline(graph, repeats=1)  # warm caches, imports, allocator
+
+    def plain():
+        _pipeline(graph)
+
+    def profiled_run():
+        prof = SamplingProfiler(hz=HZ)
+        prof.start()
+        try:
+            _pipeline(graph)
+        finally:
+            prof.stop()
+
+    t_plain = t_prof = float("inf")
+    rounds = 0
+    for _ in range(8):
+        rounds += 1
+        t_plain = min(t_plain, _timed(plain))
+        t_prof = min(t_prof, _timed(profiled_run))
+        # Converged early: no need to burn CI time on more rounds.
+        if rounds >= 3 and t_prof / t_plain - 1.0 <= OVERHEAD_BAR:
+            break
+    overhead = t_prof / t_plain - 1.0
+    assert overhead <= OVERHEAD_BAR, (
+        f"sampling at {HZ:.0f} Hz cost {100 * overhead:.1f}% "
+        f"({t_prof:.3f}s vs {t_plain:.3f}s, best of {rounds} interleaved) — "
+        f"bar is {100 * OVERHEAD_BAR:.0f}%"
+    )
+
+
+@pytest.mark.slow
+def test_profiler_actually_sampled_the_pipeline():
+    graph = load("CANN1072")
+    prof = SamplingProfiler(hz=HZ)
+    prof.start()
+    try:
+        _pipeline(graph, repeats=2)
+    finally:
+        prof.stop()
+    # ~1s of work at 200 Hz: even heavily descheduled CI gets dozens.
+    assert prof.nsamples >= 10
+    # Samples hit our pipeline code, not just the interpreter: frame
+    # labels shorten paths to their last two components.
+    funcs = " ".join(r["func"] for r in prof.self_time())
+    assert any(mod in funcs for mod in
+               ("core/", "ordering/", "symbolic/", "sparse/"))
