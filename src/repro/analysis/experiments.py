@@ -11,6 +11,7 @@ from functools import lru_cache
 
 from ..core.pipeline import PreparedMatrix, block_mapping, prepare, wrap_mapping
 from ..sparse import harwell_boeing as hb
+from ..sparse import registry
 from . import paper_data
 from .tables import render_table
 
@@ -34,8 +35,12 @@ DEFAULT_GRAINS = (4, 25)
 
 @lru_cache(maxsize=None)
 def prepared_matrix(name: str, ordering: str = "mmd") -> PreparedMatrix:
-    """Order + symbolically factor a paper matrix, cached per process."""
-    return prepare(hb.load(name), ordering=ordering, name=name)
+    """Order + symbolically factor a named matrix, cached per process.
+
+    Accepts any registry name — the five paper analogues and the
+    big-tier generated instances alike.
+    """
+    return prepare(registry.load(name), ordering=ordering, name=name)
 
 
 @lru_cache(maxsize=None)

@@ -223,7 +223,10 @@ def _emit(target: str, args: argparse.Namespace) -> str:
 
         from .perf import bench_pipeline, find_regressions, render_bench, render_delta
 
-        out = args.bench_out or "BENCH_pipeline.json"
+        out = args.bench_out or (
+            "BENCH_pipeline_big.json" if args.tier == "big"
+            else "BENCH_pipeline.json"
+        )
         baseline = None
         baseline_path = args.bench_baseline or out
         try:
@@ -238,13 +241,14 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             smoke=args.smoke,
             out=out,
             repeats=args.bench_repeats,
+            tier=args.tier,
         )
         from .obs import runs as obs_runs
 
         obs_runs.record_run(
             "bench",
             config={k: report[k]
-                    for k in ("smoke", "nprocs", "grain", "repeats")
+                    for k in ("smoke", "tier", "nprocs", "grain", "repeats")
                     if k in report},
             matrices=report.get("matrices", {}),
             wall_s=sum(m.get("wall_total", 0.0)
@@ -270,7 +274,10 @@ def _emit(target: str, args: argparse.Namespace) -> str:
 
         from .perf import bench_sweep, render_sweep_bench, render_sweep_delta
 
-        out = args.bench_out or "BENCH_sweep.json"
+        out = args.bench_out or (
+            "BENCH_sweep_big.json" if args.tier == "big"
+            else "BENCH_sweep.json"
+        )
         baseline = None
         baseline_path = args.bench_baseline or out
         try:
@@ -283,13 +290,14 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             smoke=args.smoke,
             out=out,
             repeats=args.bench_repeats,
+            tier=args.tier,
         )
         from .obs import runs as obs_runs
 
         obs_runs.record_run(
             "bench-sweep",
             config={k: report[k]
-                    for k in ("smoke", "grid", "repeats")
+                    for k in ("smoke", "tier", "grid", "repeats")
                     if k in report},
             matrices=report.get("matrices", {}),
             wall_s=sum(m.get("wall_noreuse", 0.0) + m.get("wall_reuse", 0.0)
@@ -482,26 +490,24 @@ def _runs_main(argv: list[str]) -> int:
 
 def _parse_bytes(text: str) -> int:
     """``512``, ``64K``, ``100M``, ``2G`` -> bytes (suffixes are 1024-based)."""
-    raw = text.strip().upper()
-    scale = 1
-    for suffix, mult in (("K", 1024), ("M", 1024**2), ("G", 1024**3)):
-        if raw.endswith(suffix):
-            raw, scale = raw[:-1], mult
-            break
+    from .perf.cache import parse_bytes
+
     try:
-        value = int(float(raw) * scale)
+        return parse_bytes(text)
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"invalid size {text!r} (expected e.g. 512, 64K, 100M, 2G)"
         ) from None
-    if value < 0:
-        raise argparse.ArgumentTypeError("size must be >= 0")
-    return value
 
 
 def _cache_main(argv: list[str]) -> int:
     """``python -m repro cache stats|prune`` — the prepared-matrix cache."""
-    from .perf.cache import cache_stats, prune_cache, render_cache_stats
+    from .perf.cache import (
+        cache_max_bytes,
+        cache_stats,
+        prune_cache,
+        render_cache_stats,
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro cache",
@@ -517,8 +523,9 @@ def _cache_main(argv: list[str]) -> int:
         "prune", help="evict least-recently-used entries down to a byte budget"
     )
     p_prune.add_argument(
-        "--max-bytes", type=_parse_bytes, required=True, metavar="N",
-        help="target cache size in bytes (K/M/G suffixes accepted)",
+        "--max-bytes", type=_parse_bytes, default=None, metavar="N",
+        help="target cache size in bytes (K/M/G suffixes accepted; "
+             "defaults to $REPRO_CACHE_MAX_BYTES when set)",
     )
     for p in (p_stats, p_prune):
         p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -528,6 +535,12 @@ def _cache_main(argv: list[str]) -> int:
     if args.cmd == "stats":
         print(render_cache_stats(cache_stats(args.cache_dir)))
         return 0
+    if args.max_bytes is None:
+        args.max_bytes = cache_max_bytes()
+        if args.max_bytes is None:
+            print("error: --max-bytes is required "
+                  "(or set $REPRO_CACHE_MAX_BYTES)", file=sys.stderr)
+            return 2
     result = prune_cache(args.cache_dir, max_bytes=args.max_bytes)
     print(f"pruned {result['removed']} entries "
           f"({result['freed_bytes']} bytes freed); "
@@ -608,6 +621,11 @@ def main(argv: list[str] | None = None) -> int:
                              "decomposition; values are identical either way)")
     parser.add_argument("--smoke", action="store_true",
                         help="with 'bench'/'bench-sweep': tiny problems (CI mode)")
+    parser.add_argument("--tier", choices=("paper", "big"), default="paper",
+                        help="with 'bench'/'bench-sweep': 'big' benches the "
+                             "10^5-unknown generated instances and writes "
+                             "BENCH_*_big.json by default (--smoke then runs "
+                             "the single smallest big instance)")
     parser.add_argument("--bench-out", default=None, metavar="FILE",
                         help="with 'bench'/'bench-sweep': where to write the "
                              "JSON report (default BENCH_pipeline.json / "

@@ -1,10 +1,13 @@
 """Distributed-memory machine model: work, traffic, balance, timing."""
 
 from .batched import (
+    DEFAULT_CHUNK_READS,
     ReadIndex,
     batched_load_balance,
     batched_metrics,
     batched_traffic,
+    batched_traffic_oneshot,
+    read_chunk_bounds,
     build_read_index,
 )
 from .hotspot import HotspotProfile, hotspot_profile
@@ -26,6 +29,9 @@ __all__ = [
     "batched_load_balance",
     "batched_metrics",
     "batched_traffic",
+    "batched_traffic_oneshot",
+    "read_chunk_bounds",
+    "DEFAULT_CHUNK_READS",
     "build_read_index",
     "HotspotProfile",
     "hotspot_profile",

@@ -23,6 +23,19 @@ This module batches the K evaluations into one pass:
    fetches fall out of one segmented-dedup mask and a single
    ``np.bincount``.
 
+At big-tier sizes (nnz(L) and read counts in the millions) the flat
+``(K * reads)``-sized sort intermediates dominate peak RSS, so the
+kernel streams: the read list is processed in fixed-size chunks whose
+boundaries are snapped to *source-run* boundaries
+(:func:`read_chunk_bounds`).  ``src`` is ascending, so all reads of one
+source element are contiguous — no (processor, source) pair can ever
+span two chunks, which makes the per-chunk dedup + bincount accumulation
+**bit-identical** to the one-shot pass (kept as
+:func:`batched_traffic_oneshot`; the test suite asserts equality on
+every bundled matrix).  The chunk size defaults to
+:data:`DEFAULT_CHUNK_READS` and can be tuned per call or via
+``$REPRO_BATCH_CHUNK_READS``.
+
 The per-assignment paths (:func:`~repro.machine.traffic.data_traffic`,
 :func:`~repro.machine.work.processor_work`) are kept as the reference
 implementations; the test suite asserts array-for-array identity.
@@ -30,23 +43,44 @@ implementations; the test suite asserts array-for-array identity.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from ..obs import trace as obs
+from ..sparse.dtypes import index_dtype
 from ..symbolic.updates import UpdateSet
 from .metrics import LoadBalance, load_balance
 from .traffic import TrafficResult
 
 __all__ = [
+    "DEFAULT_CHUNK_READS",
     "ReadIndex",
     "build_read_index",
+    "read_chunk_bounds",
     "batched_traffic",
+    "batched_traffic_oneshot",
     "batched_load_balance",
     "batched_metrics",
 ]
+
+#: Reads per chunk of the streaming traffic kernel.  At the default the
+#: transient sort arrays stay ~100 MB for K ~ 4 cells regardless of
+#: problem size; override per call or with ``$REPRO_BATCH_CHUNK_READS``
+#: (0 disables chunking entirely).
+DEFAULT_CHUNK_READS = 4_000_000
+
+
+def _chunk_reads_setting(chunk_reads: int | None) -> int:
+    if chunk_reads is not None:
+        return int(chunk_reads)
+    env = os.environ.get("REPRO_BATCH_CHUNK_READS", "")
+    try:
+        return int(env)
+    except ValueError:
+        return DEFAULT_CHUNK_READS
 
 
 @dataclass(frozen=True)
@@ -77,13 +111,14 @@ def build_read_index(updates: UpdateSet, include_scale: bool = True) -> ReadInde
     target; ``include_scale`` adds one diagonal read per element,
     matching the flag of :func:`~repro.machine.traffic.data_traffic`.
     """
+    edt = index_dtype(updates.pattern.nnz)
     srcs = [updates.source_i, updates.source_j]
     readers = [updates.target, updates.target]
     if include_scale:
         srcs.append(updates.scale_source)
-        readers.append(np.arange(updates.pattern.nnz, dtype=np.int64))
-    src = np.concatenate(srcs)
-    reader = np.concatenate(readers)
+        readers.append(np.arange(updates.pattern.nnz, dtype=edt))
+    src = np.concatenate(srcs).astype(edt, copy=False)
+    reader = np.concatenate(readers).astype(edt, copy=False)
     order = np.argsort(src, kind="stable")
     return ReadIndex(
         include_scale=include_scale,
@@ -92,11 +127,42 @@ def build_read_index(updates: UpdateSet, include_scale: bool = True) -> ReadInde
     )
 
 
+def read_chunk_bounds(src: np.ndarray, chunk_reads: int) -> list[int]:
+    """Chunk boundaries over a source-sorted read list.
+
+    Returns ascending offsets ``[0, ..., len(src)]`` where every chunk
+    is at most ``chunk_reads`` long *except* when a single source's run
+    of reads is itself longer — runs are never split, because the
+    per-chunk dedup is only correct while all reads of one source stay
+    in one chunk.  ``chunk_reads <= 0`` means one chunk (the one-shot
+    pass).
+    """
+    reads = len(src)
+    if chunk_reads <= 0 or reads <= chunk_reads:
+        return [0, reads] if reads else [0]
+    bounds = [0]
+    while bounds[-1] < reads:
+        cut = min(bounds[-1] + chunk_reads, reads)
+        if cut < reads:
+            # Snap back to the start of the source run straddling the
+            # cut; if that run began at (or before) the chunk start,
+            # the run is longer than the budget — take it whole.
+            run_start = int(np.searchsorted(src, src[cut], side="left"))
+            if run_start > bounds[-1]:
+                cut = run_start
+            else:
+                cut = int(np.searchsorted(src, src[bounds[-1]], side="right"))
+        bounds.append(int(cut))
+    return bounds
+
+
 def _stack_owners(owners) -> np.ndarray:
     owners = list(owners)
     if not owners:
-        return np.empty((0, 0), dtype=np.int64)
-    arr = np.stack([np.asarray(o, dtype=np.int64) for o in owners])
+        return np.empty((0, 0), dtype=np.int32)
+    # Owner values are processor ids — far below 2^31 — so the stacked
+    # (K, nnz) array is kept at int32 regardless of the input dtypes.
+    arr = np.stack([np.asarray(o, dtype=np.int32) for o in owners])
     if arr.ndim != 2:
         raise ValueError("owners must stack to a (K, nnz) array")
     return arr
@@ -112,19 +178,13 @@ def _proc_key_dtype(total_procs: int):
     return np.int64
 
 
-def batched_traffic(
+def _validated_inputs(
     updates: UpdateSet,
     owners,
     nprocs: Sequence[int],
-    read_index: ReadIndex | None = None,
-    include_scale: bool = True,
-) -> list[TrafficResult]:
-    """Distinct non-local fetches per processor for K owner arrays at
-    once; value-identical to K :func:`data_traffic` calls.
-
-    ``owners`` stacks to ``(K, nnz)`` and ``nprocs[k]`` is the processor
-    count of assignment k (the counts may differ across k).
-    """
+    read_index: ReadIndex | None,
+    include_scale: bool,
+):
     owners = _stack_owners(owners)
     nprocs = np.asarray(nprocs, dtype=np.int64)
     if len(nprocs) != len(owners):
@@ -136,28 +196,32 @@ def batched_traffic(
             "read index was built with include_scale="
             f"{read_index.include_scale}, requested {include_scale}"
         )
-    k_count = len(owners)
-    offsets = np.concatenate([[0], np.cumsum(nprocs)])
-    total_procs = int(offsets[-1])
-    reads = read_index.num_reads
-    if reads == 0 or k_count == 0:
-        return [
-            TrafficResult(np.zeros(int(p), dtype=np.int64)) for p in nprocs
-        ]
+    return owners, nprocs, read_index
 
-    # One small-range key per read per cell: cell k's processors occupy
-    # the disjoint range [offsets[k], offsets[k+1]), so sorting the flat
-    # key groups by (cell, processor) — and the stable sort keeps the
-    # pre-sorted sources ascending inside every group.  Offsetting and
-    # narrowing before the (K, reads) gather keeps the big intermediate
-    # at the key dtype instead of int64.
-    shifted = (owners + offsets[:-1, None]).astype(
-        _proc_key_dtype(total_procs), copy=False
-    )
-    flat = shifted[:, read_index.reader].ravel()
+
+def _chunk_counts(
+    shifted: np.ndarray,
+    owners: np.ndarray,
+    offsets: np.ndarray,
+    read_index: ReadIndex,
+    lo: int,
+    hi: int,
+    total_procs: int,
+) -> np.ndarray:
+    """Distinct non-local fetch counts contributed by reads ``lo:hi``.
+
+    One small-range key per read per cell: cell k's processors occupy
+    the disjoint range [offsets[k], offsets[k+1]), so sorting the flat
+    key groups by (cell, processor) — and the stable sort keeps the
+    pre-sorted sources ascending inside every group.  Offsetting and
+    narrowing before the (K, reads) gather keeps the big intermediate
+    at the key dtype instead of int64.
+    """
+    k_count = len(shifted)
+    flat = shifted[:, read_index.reader[lo:hi]].ravel()
     order = np.argsort(flat, kind="stable")
     p = flat[order]
-    s = np.tile(read_index.src, k_count)[order]
+    s = np.tile(read_index.src[lo:hi], k_count)[order]
 
     first = np.empty(len(p), dtype=bool)
     first[0] = True
@@ -170,7 +234,87 @@ def batched_traffic(
     s_f = s[first]
     k_of = np.searchsorted(offsets[1:], p_f, side="right")
     nonlocal_mask = owners[k_of, s_f] != (p_f - offsets[k_of])
-    counts = np.bincount(p_f[nonlocal_mask], minlength=total_procs)
+    return np.bincount(p_f[nonlocal_mask], minlength=total_procs)
+
+
+def batched_traffic(
+    updates: UpdateSet,
+    owners,
+    nprocs: Sequence[int],
+    read_index: ReadIndex | None = None,
+    include_scale: bool = True,
+    chunk_reads: int | None = None,
+) -> list[TrafficResult]:
+    """Distinct non-local fetches per processor for K owner arrays at
+    once; value-identical to K :func:`data_traffic` calls.
+
+    ``owners`` stacks to ``(K, nnz)`` and ``nprocs[k]`` is the processor
+    count of assignment k (the counts may differ across k).  The read
+    list is streamed in source-aligned chunks of at most ``chunk_reads``
+    reads (default :data:`DEFAULT_CHUNK_READS`, overridable via
+    ``$REPRO_BATCH_CHUNK_READS``; 0 forces one chunk).  Chunk boundaries
+    never split a source run, so the accumulated counts are bit-identical
+    to :func:`batched_traffic_oneshot` at every chunk size.
+    """
+    owners, nprocs, read_index = _validated_inputs(
+        updates, owners, nprocs, read_index, include_scale
+    )
+    k_count = len(owners)
+    offsets = np.concatenate([[0], np.cumsum(nprocs)])
+    total_procs = int(offsets[-1])
+    if read_index.num_reads == 0 or k_count == 0:
+        return [
+            TrafficResult(np.zeros(int(p), dtype=np.int64)) for p in nprocs
+        ]
+    shifted = (owners + offsets[:-1, None]).astype(
+        _proc_key_dtype(total_procs), copy=False
+    )
+    bounds = read_chunk_bounds(
+        read_index.src, _chunk_reads_setting(chunk_reads)
+    )
+    counts = np.zeros(total_procs, dtype=np.int64)
+    for lo, hi in zip(bounds, bounds[1:]):
+        counts += _chunk_counts(
+            shifted, owners, offsets, read_index, lo, hi, total_procs
+        )
+    obs.counter("machine.batched.cells", k_count)
+    obs.counter("machine.batched.chunks", max(0, len(bounds) - 1))
+    return [
+        TrafficResult(counts[offsets[k] : offsets[k + 1]].astype(np.int64))
+        for k in range(k_count)
+    ]
+
+
+def batched_traffic_oneshot(
+    updates: UpdateSet,
+    owners,
+    nprocs: Sequence[int],
+    read_index: ReadIndex | None = None,
+    include_scale: bool = True,
+) -> list[TrafficResult]:
+    """The unchunked reference pass: one sort over the whole read list.
+
+    Kept as the identity baseline the chunked kernel is asserted
+    against (and the fastest choice when the flat ``K * reads``
+    intermediates comfortably fit in memory).
+    """
+    owners, nprocs, read_index = _validated_inputs(
+        updates, owners, nprocs, read_index, include_scale
+    )
+    k_count = len(owners)
+    offsets = np.concatenate([[0], np.cumsum(nprocs)])
+    total_procs = int(offsets[-1])
+    reads = read_index.num_reads
+    if reads == 0 or k_count == 0:
+        return [
+            TrafficResult(np.zeros(int(p), dtype=np.int64)) for p in nprocs
+        ]
+    shifted = (owners + offsets[:-1, None]).astype(
+        _proc_key_dtype(total_procs), copy=False
+    )
+    counts = _chunk_counts(
+        shifted, owners, offsets, read_index, 0, reads, total_procs
+    )
     obs.counter("machine.batched.cells", k_count)
     return [
         TrafficResult(counts[offsets[k] : offsets[k + 1]].astype(np.int64))
@@ -181,24 +325,28 @@ def batched_traffic(
 def batched_load_balance(
     updates: UpdateSet, owners, nprocs: Sequence[int]
 ) -> list[LoadBalance]:
-    """Owner-computes work distribution for K owner arrays in one
-    weighted bincount; value-identical to K :func:`processor_work` +
-    :func:`load_balance` calls."""
+    """Owner-computes work distribution for K owner arrays; one weighted
+    bincount per cell, value-identical to K :func:`processor_work` +
+    :func:`load_balance` calls.
+
+    The per-cell loop (rather than one bincount over a flattened
+    ``(K, nnz)`` float64 broadcast) keeps the transient at ``nnz``
+    doubles instead of ``K * nnz`` — the summation order within each
+    cell is unchanged, so the results are bit-identical.
+    """
     owners = _stack_owners(owners)
     nprocs = np.asarray(nprocs, dtype=np.int64)
     if len(nprocs) != len(owners):
         raise ValueError("need one processor count per owner array")
     if len(owners) == 0:
         return []
-    offsets = np.concatenate([[0], np.cumsum(nprocs)])
     ew = updates.element_work().astype(np.float64)
-    work = np.bincount(
-        (owners + offsets[:-1, None]).ravel(),
-        weights=np.broadcast_to(ew, owners.shape).ravel(),
-        minlength=int(offsets[-1]),
-    )
     return [
-        load_balance(work[offsets[k] : offsets[k + 1]].astype(np.int64))
+        load_balance(
+            np.bincount(
+                owners[k], weights=ew, minlength=int(nprocs[k])
+            ).astype(np.int64)
+        )
         for k in range(len(owners))
     ]
 
@@ -208,11 +356,14 @@ def batched_metrics(
     assignments,
     read_index: ReadIndex | None = None,
     include_scale: bool = True,
+    chunk_reads: int | None = None,
 ) -> list[tuple[TrafficResult, LoadBalance]]:
     """Traffic and load balance for K assignments of one structure.
 
     All assignments must map the same pattern the updates were
-    enumerated on; their processor counts may differ.
+    enumerated on; their processor counts may differ.  ``chunk_reads``
+    bounds the traffic kernel's per-chunk working set (see
+    :func:`batched_traffic`).
     """
     assignments = list(assignments)
     nnz = updates.pattern.nnz
@@ -225,6 +376,9 @@ def batched_metrics(
     owners = [a.owner_of_element for a in assignments]
     nprocs = [a.nprocs for a in assignments]
     with obs.span("machine.batched_metrics", cells=len(assignments)):
-        traffic = batched_traffic(updates, owners, nprocs, read_index, include_scale)
+        traffic = batched_traffic(
+            updates, owners, nprocs, read_index, include_scale,
+            chunk_reads=chunk_reads,
+        )
         balance = batched_load_balance(updates, owners, nprocs)
     return list(zip(traffic, balance))

@@ -182,7 +182,9 @@ def load_run(ref: str, root: str | Path | None = None) -> dict:
                 "matrices": doc.get("matrices", {}),
                 "config": {
                     k: doc[k]
-                    for k in ("smoke", "nprocs", "grain", "grid", "repeats")
+                    for k in (
+                        "smoke", "tier", "nprocs", "grain", "grid", "repeats"
+                    )
                     if k in doc
                 },
             }

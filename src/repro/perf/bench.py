@@ -35,10 +35,13 @@ from ..obs.memory import MemoryMonitor, memory_enabled, monitored
 from ..obs.trace import Recorder
 from ..sparse import grid9
 from ..sparse import harwell_boeing as hb
+from ..sparse import registry
 from .sweep import build_grid, sweep
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "BIG_BENCH_MATRICES",
+    "BIG_SWEEP_MATRICES",
     "STAGES",
     "SWEEP_BENCH_GRID",
     "SWEEP_BENCH_SMOKE_GRID",
@@ -79,6 +82,25 @@ SMOKE_MATRICES = {
     "GRID9x8": lambda: grid9(8, 8),
     "GRID9x12": lambda: grid9(12, 12),
 }
+
+#: Big-tier (10^5-unknown) pipeline bench set, and the single smallest
+#: instance the opt-in CI smoke job runs.  Big-tier runs default to one
+#: repeat: a repeat costs minutes, and the watermark/min-timing noise
+#: the extra repeats suppress is small relative to big-tier durations.
+BIG_BENCH_MATRICES = ("GRIDA100K", "HEX100K", "SOC100K")
+BIG_BENCH_SMOKE_MATRICES = ("SOC100K",)
+#: Big-tier sweep bench set.  The smoke variant uses the *same grid* as
+#: the full run (only fewer matrices), so the regression gate always
+#: compares like-for-like cells.
+BIG_SWEEP_MATRICES = ("SOC100K", "GRIDA100K")
+BIG_SWEEP_SMOKE_MATRICES = ("SOC100K",)
+BIG_MODE_REPEATS = 1
+
+
+def _tier_checked(tier: str) -> str:
+    if tier not in ("paper", "big"):
+        raise ValueError(f"unknown tier {tier!r}; expected 'paper' or 'big'")
+    return tier
 
 
 def _bench_once(name: str, graph, nprocs: int, grain: int) -> dict:
@@ -169,27 +191,41 @@ def bench_pipeline(
     out: str | Path | None = "BENCH_pipeline.json",
     repeats: int | None = None,
     stamp: bool = True,
+    tier: str = "paper",
 ) -> dict:
     """Benchmark the pipeline stages and write the JSON report.
 
     ``matrices`` defaults to every paper matrix (Table 1/2), or the tiny
-    smoke grids when ``smoke`` is set.  ``repeats`` defaults to
-    :data:`FULL_MODE_REPEATS` (best-of-N) in full mode and 1 in smoke
-    mode.  ``stamp=False`` omits the ``created_unix`` timestamp so two
-    runs of the same tree produce byte-identical reports; comparisons
-    (:func:`compare_reports`) never look at the timestamp either way.
-    Returns the report dict; writes it to ``out`` unless ``out`` is
-    ``None``.
+    smoke grids when ``smoke`` is set.  ``tier="big"`` switches the
+    defaults to the 10^5-unknown generated instances
+    (:data:`BIG_BENCH_MATRICES`; ``smoke`` then selects the single
+    smallest instance instead of the tiny grids) and to one repeat.
+    ``repeats`` defaults to :data:`FULL_MODE_REPEATS` (best-of-N) in
+    full paper mode and 1 otherwise.  ``stamp=False`` omits the
+    ``created_unix`` timestamp so two runs of the same tree produce
+    byte-identical reports; comparisons (:func:`compare_reports`) never
+    look at the timestamp either way.  Returns the report dict; writes
+    it to ``out`` unless ``out`` is ``None``.
     """
-    if smoke:
+    tier = _tier_checked(tier)
+    if tier == "big":
+        names = list(matrices) if matrices else list(
+            BIG_BENCH_SMOKE_MATRICES if smoke else BIG_BENCH_MATRICES
+        )
+        problems = {name: registry.load(name) for name in names}
+    elif smoke:
         problems = {name: build() for name, build in SMOKE_MATRICES.items()}
     else:
         names = list(matrices) if matrices else list(hb.names())
-        problems = {name: hb.load(name) for name in names}
+        problems = {name: registry.load(name) for name in names}
     if repeats is None:
-        repeats = 1 if smoke else FULL_MODE_REPEATS
+        repeats = (
+            BIG_MODE_REPEATS if tier == "big"
+            else 1 if smoke else FULL_MODE_REPEATS
+        )
     report = {
         "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": tier,
         "smoke": bool(smoke),
         "nprocs": int(nprocs),
         "grain": int(grain),
@@ -278,6 +314,7 @@ def bench_sweep(
     out: str | Path | None = "BENCH_sweep.json",
     repeats: int | None = None,
     stamp: bool = True,
+    tier: str = "paper",
 ) -> dict:
     """Benchmark staged sweep reuse against the per-cell reference.
 
@@ -291,15 +328,29 @@ def bench_sweep(
     handicap for the reference (the per-cell path never reads it).
     ``records_identical`` asserts the two modes returned the same
     record lists, so a speedup can never hide a semantics change.
+
+    ``tier="big"`` sweeps the 10^5-unknown generated instances
+    (:data:`BIG_SWEEP_MATRICES`) over the *full* paper-scale grid; big
+    smoke keeps that grid and only drops to the single smallest
+    instance, so smoke and full reports stay cell-for-cell comparable.
     """
-    if smoke:
+    tier = _tier_checked(tier)
+    if tier == "big":
+        names = list(matrices) if matrices else list(
+            BIG_SWEEP_SMOKE_MATRICES if smoke else BIG_SWEEP_MATRICES
+        )
+        grid = dict(SWEEP_BENCH_GRID)
+    elif smoke:
         names = list(matrices) if matrices else ["DWT512"]
         grid = dict(SWEEP_BENCH_SMOKE_GRID)
     else:
         names = list(matrices) if matrices else list(hb.names())
         grid = dict(SWEEP_BENCH_GRID)
     if repeats is None:
-        repeats = 1 if smoke else FULL_MODE_REPEATS
+        repeats = (
+            BIG_MODE_REPEATS if tier == "big"
+            else 1 if smoke else FULL_MODE_REPEATS
+        )
     entries = {}
     with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as cache_dir:
         for name in names:
@@ -309,6 +360,7 @@ def bench_sweep(
     total_on = sum(e["wall_reuse"] for e in entries.values())
     report = {
         "schema_version": BENCH_SCHEMA_VERSION,
+        "tier": tier,
         "smoke": bool(smoke),
         "grid": {k: list(v) for k, v in grid.items()},
         "cells_per_matrix": len(build_grid(names[:1], **grid)),
@@ -375,16 +427,33 @@ def _memory_rows(name: str, base: dict, cur: dict) -> list[dict]:
     ]
 
 
+#: Matrix-name display columns never grow past this; longer generator
+#: names are truncated with a ".." marker so the tables stay aligned.
+_NAME_WIDTH_MAX = 18
+
+
+def _name_width(names, minimum: int) -> int:
+    """Width of the name column: fits the longest name, bounded."""
+    return min(max([minimum] + [len(n) for n in names]), _NAME_WIDTH_MAX)
+
+
+def _fit_name(name: str, width: int) -> str:
+    return name if len(name) <= width else name[: width - 2] + ".."
+
+
 def render_sweep_bench(report: dict) -> str:
     """ASCII summary of a sweep bench report."""
     with_mem = any("mem_peak_mb" in e for e in report["matrices"].values())
-    headers = ["matrix", "cells", "no-reuse ms", "reuse ms", "speedup", "identical"]
+    nw = _name_width(report["matrices"], 12)
+    headers = ["cells", "no-reuse ms", "reuse ms", "speedup", "identical"]
     if with_mem:
         headers.append("mem_peak_mb")
-    lines = ["  ".join(f"{h:>12}" for h in headers)]
+    lines = [
+        "  ".join([f"{'matrix':>{nw}}"] + [f"{h:>12}" for h in headers])
+    ]
     for name, e in report["matrices"].items():
         cells = [
-            f"{name:>12}",
+            f"{_fit_name(name, nw):>{nw}}",
             f"{e['cells']:>12}",
             f"{e['wall_noreuse'] * 1e3:>12.1f}",
             f"{e['wall_reuse'] * 1e3:>12.1f}",
@@ -408,13 +477,16 @@ def render_sweep_delta(current: dict, baseline: dict) -> str:
     rows = compare_sweep_reports(current, baseline)
     if not rows:
         return "(no comparable matrices between current report and baseline)"
-    headers = ["matrix", "mode", "baseline ms", "current ms", "vs baseline"]
-    lines = ["  ".join(f"{h:>12}" for h in headers)]
+    nw = _name_width([r["matrix"] for r in rows], 12)
+    headers = ["mode", "baseline ms", "current ms", "vs baseline"]
+    lines = [
+        "  ".join([f"{'matrix':>{nw}}"] + [f"{h:>12}" for h in headers])
+    ]
     for row in rows:
         lines.append(
             "  ".join(
                 [
-                    f"{row['matrix']:>12}",
+                    f"{_fit_name(row['matrix'], nw):>{nw}}",
                     f"{row['stage'].removeprefix('wall_'):>12}",
                     f"{row['baseline_s'] * 1e3:>12.1f}",
                     f"{row['current_s'] * 1e3:>12.1f}",
@@ -500,12 +572,12 @@ def render_delta(current: dict, baseline: dict) -> str:
     by_matrix: dict[str, dict[str, dict]] = {}
     for row in rows:
         by_matrix.setdefault(row["matrix"], {})[row["stage"]] = row
-    headers = ["matrix"] + stage_names
+    nw = _name_width(by_matrix, 10)
     lines = [
-        "  ".join(f"{h:>18}" if i else f"{h:>10}" for i, h in enumerate(headers))
+        "  ".join([f"{'matrix':>{nw}}"] + [f"{h:>18}" for h in stage_names])
     ]
     for name, stages in by_matrix.items():
-        cells = [f"{name:>10}"]
+        cells = [f"{_fit_name(name, nw):>{nw}}"]
         for stage in stage_names:
             row = stages.get(stage)
             if row is None:
@@ -523,12 +595,20 @@ def render_bench(report: dict) -> str:
     """ASCII summary of a bench report (stage milliseconds per matrix)."""
     stage_names = list(STAGES)
     with_mem = any("mem_peak_mb" in e for e in report["matrices"].values())
-    headers = ["matrix", "n", "nnz(L)"] + stage_names + ["total"]
+    nw = _name_width(report["matrices"], 10)
+    headers = stage_names + ["total"]
     if with_mem:
         headers.append("mem_peak_mb")
-    lines = ["  ".join(f"{h:>18}" if i > 2 else f"{h:>10}" for i, h in enumerate(headers))]
+    lines = ["  ".join(
+        [f"{'matrix':>{nw}}", f"{'n':>10}", f"{'nnz(L)':>10}"]
+        + [f"{h:>18}" for h in headers]
+    )]
     for name, entry in report["matrices"].items():
-        cells = [f"{name:>10}", f"{entry['n']:>10}", f"{entry['factor_nnz']:>10}"]
+        cells = [
+            f"{_fit_name(name, nw):>{nw}}",
+            f"{entry['n']:>10}",
+            f"{entry['factor_nnz']:>10}",
+        ]
         for stage in stage_names:
             cells.append(f"{entry['stages'][stage] * 1e3:>18.2f}")
         cells.append(f"{entry['wall_total'] * 1e3:>18.2f}")

@@ -50,17 +50,21 @@ from ..core.pipeline import (
 )
 from ..obs import trace as obs
 from ..ordering import ORDERING_IMPL_VERSION
+from ..sparse.dtypes import index_dtype
 from ..sparse.pattern import LowerPattern, SymmetricGraph
+from ..sparse.registry import BIG_TIER_MIN_N
 from ..symbolic.fill import SYMBOLIC_IMPL_VERSION, SymbolicFactor
 
 __all__ = [
     "CACHE_VERSION",
     "PrepareCache",
     "PartitionCache",
+    "cache_max_bytes",
     "cached_prepare",
     "cached_partition",
     "cache_stats",
     "default_cache_dir",
+    "parse_bytes",
     "prepare_key",
     "partition_key",
     "prune_cache",
@@ -69,7 +73,44 @@ __all__ = [
 
 #: Bump whenever the on-disk payload layout or the semantics of any
 #: cached stage change; old entries then miss on both key and payload.
-CACHE_VERSION = 1
+#: v2: index arrays stored at their narrow (int32-capable) dtypes.
+CACHE_VERSION = 2
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a byte size with optional K/M/G suffix (e.g. ``100M``)."""
+    raw = text.strip().upper()
+    scale = 1
+    for suffix, mult in (("K", 1024), ("M", 1024**2), ("G", 1024**3)):
+        if raw.endswith(suffix):
+            raw, scale = raw[:-1], mult
+            break
+    value = int(float(raw) * scale)
+    if value < 0:
+        raise ValueError("size must be >= 0")
+    return value
+
+
+def cache_max_bytes() -> int | None:
+    """The ``$REPRO_CACHE_MAX_BYTES`` budget, or ``None`` when unset.
+
+    When set, every successful store auto-prunes the cache back to this
+    budget (LRU), and ``repro cache prune`` uses it as the default
+    ``--max-bytes``.  Unparsable values are ignored.
+    """
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES", "")
+    if not env.strip():
+        return None
+    try:
+        return parse_bytes(env)
+    except ValueError:
+        return None
+
+
+def _auto_prune(root: Path) -> None:
+    budget = cache_max_bytes()
+    if budget is not None:
+        prune_cache(root, max_bytes=budget)
 
 
 def default_cache_dir() -> Path:
@@ -137,7 +178,11 @@ class PrepareCache:
     def __init__(self, root: str | Path | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
 
-    def path_for(self, key: str) -> Path:
+    def path_for(self, key: str, n: int | None = None) -> Path:
+        """Entry path; big-tier problems get a ``.big.npz`` suffix so
+        ``cache stats`` can split byte totals by tier."""
+        if n is not None and n >= BIG_TIER_MIN_N:
+            return self.root / key[:2] / f"{key}.big.npz"
         return self.root / key[:2] / f"{key}.npz"
 
     # ------------------------------------------------------------------
@@ -150,7 +195,7 @@ class PrepareCache:
         are treated as misses — the caller recomputes and overwrites.
         """
         key = prepare_key(graph, ordering)
-        path = self.path_for(key)
+        path = self.path_for(key, graph.n)
         with obs.span("perf.cache.load", key=key[:12], matrix=name or "matrix"):
             try:
                 with np.load(path) as data:
@@ -159,7 +204,11 @@ class PrepareCache:
                     perm = np.asarray(data["perm"], dtype=np.int64)
                     parent = np.asarray(data["parent"], dtype=np.int64)
                     indptr = np.asarray(data["indptr"], dtype=np.int64)
-                    rowidx = np.asarray(data["rowidx"], dtype=np.int64)
+                    # Row indices keep the narrow storage dtype the
+                    # symbolic stage would have produced natively.
+                    rowidx = np.asarray(
+                        data["rowidx"], dtype=index_dtype(graph.n)
+                    )
                 # LowerPattern validates shape/diagonal invariants; a
                 # mangled payload raises here and counts as a miss.
                 pattern = LowerPattern(graph.n, indptr, rowidx)
@@ -186,7 +235,7 @@ class PrepareCache:
     ) -> Path:
         """Persist a prepare result atomically (write-temp + rename)."""
         key = prepare_key(graph, ordering)
-        path = self.path_for(key)
+        path = self.path_for(key, graph.n)
         with obs.span("perf.cache.store", key=key[:12], matrix=prepared.name):
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -207,6 +256,7 @@ class PrepareCache:
                 raise
         obs.counter("perf.cache.store")
         _bump_stats(self.root, "prepare.store")
+        _auto_prune(self.root)
         return path
 
 
@@ -249,7 +299,9 @@ class PartitionCache:
     def __init__(self, root: str | Path | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
 
-    def path_for(self, key: str) -> Path:
+    def path_for(self, key: str, n: int | None = None) -> Path:
+        if n is not None and n >= BIG_TIER_MIN_N:
+            return self.root / key[:2] / f"{key}.part.big.npz"
         return self.root / key[:2] / f"{key}.part.npz"
 
     # ------------------------------------------------------------------
@@ -262,7 +314,7 @@ class PartitionCache:
     ) -> PartitionedMatrix | None:
         """Return the cached partition stage, or ``None`` on any miss."""
         key = partition_key(prepared.graph, ordering, grain, min_width)
-        path = self.path_for(key)
+        path = self.path_for(key, prepared.graph.n)
         with obs.span(
             "perf.cache.partition.load", key=key[:12], matrix=prepared.name
         ):
@@ -405,7 +457,7 @@ class PartitionCache:
         key = partition_key(
             prepared.graph, ordering, partitioned.grain, partitioned.min_width
         )
-        path = self.path_for(key)
+        path = self.path_for(key, prepared.graph.n)
         partition = partitioned.partition
         units = partition.units
         clusters = partition.clusters
@@ -435,7 +487,12 @@ class PartitionCache:
                         grain=np.int64(partitioned.grain),
                         min_width=np.int64(partitioned.min_width),
                         grain_rectangle=np.int64(partition.grain_rectangle),
-                        unit_of_element=partition.unit_of_element,
+                        # Stored narrow (unit ids fit int32 far before
+                        # nnz does); loads widen back to the partition
+                        # stage's native int64.
+                        unit_of_element=partition.unit_of_element.astype(
+                            index_dtype(max(len(units), 1)), copy=False
+                        ),
                         u_kind=np.asarray(
                             [_KIND_CODES[u.kind] for u in units], dtype=np.int64
                         ),
@@ -503,6 +560,7 @@ class PartitionCache:
                 raise
         obs.counter("perf.cache.partition.store")
         _bump_stats(self.root, "partition.store")
+        _auto_prune(self.root)
         return path
 
 
@@ -566,19 +624,36 @@ def _cache_entries(root: Path) -> list[tuple[Path, int, float]]:
     return entries
 
 
+def _entry_kind_tier(path: Path) -> tuple[str, str]:
+    """Classify an entry file by (kind, tier) from its name suffix."""
+    name = path.name
+    kind = "partition" if (
+        name.endswith(".part.npz") or name.endswith(".part.big.npz")
+    ) else "prepare"
+    tier = "big" if name.endswith(".big.npz") else "small"
+    return kind, tier
+
+
 def cache_stats(root: str | Path | None = None) -> dict:
     """Snapshot of the cache directory: entry counts and bytes split by
-    kind (prepare vs partition), plus the advisory lifetime hit/miss
-    counters from ``stats.json``."""
+    kind (prepare vs partition) and by tier (small vs big), plus the
+    advisory lifetime hit/miss counters from ``stats.json`` and the
+    active ``$REPRO_CACHE_MAX_BYTES`` budget (``None`` when unset)."""
     base = Path(root) if root is not None else default_cache_dir()
-    prep_n = prep_b = part_n = part_b = 0
+    kinds = {
+        "prepare": {"entries": 0, "bytes": 0},
+        "partition": {"entries": 0, "bytes": 0},
+    }
+    tiers = {
+        "small": {"entries": 0, "bytes": 0},
+        "big": {"entries": 0, "bytes": 0},
+    }
     for path, size, _ in _cache_entries(base):
-        if path.name.endswith(".part.npz"):
-            part_n += 1
-            part_b += size
-        else:
-            prep_n += 1
-            prep_b += size
+        kind, tier = _entry_kind_tier(path)
+        kinds[kind]["entries"] += 1
+        kinds[kind]["bytes"] += size
+        tiers[tier]["entries"] += 1
+        tiers[tier]["bytes"] += size
     try:
         counters = json.loads((base / "stats.json").read_text())
         if not isinstance(counters, dict):
@@ -587,9 +662,11 @@ def cache_stats(root: str | Path | None = None) -> dict:
         counters = {}
     return {
         "root": str(base),
-        "prepare": {"entries": prep_n, "bytes": prep_b},
-        "partition": {"entries": part_n, "bytes": part_b},
-        "total_bytes": prep_b + part_b,
+        "prepare": kinds["prepare"],
+        "partition": kinds["partition"],
+        "tiers": tiers,
+        "total_bytes": kinds["prepare"]["bytes"] + kinds["partition"]["bytes"],
+        "max_bytes": cache_max_bytes(),
         "counters": {k: counters[k] for k in sorted(counters)},
     }
 
@@ -645,7 +722,17 @@ def render_cache_stats(stats: dict) -> str:
             f"  {kind:<9}  {block.get('entries', 0):>5} entries"
             f"  {_fmt_bytes(block.get('bytes', 0)):>10}"
         )
+    for tier in ("small", "big"):
+        block = stats.get("tiers", {}).get(tier, {})
+        lines.append(
+            f"  tier {tier:<4}  {block.get('entries', 0):>5} entries"
+            f"  {_fmt_bytes(block.get('bytes', 0)):>10}"
+        )
     lines.append(f"  {'total':<9}  {'':>5}         {_fmt_bytes(stats.get('total_bytes', 0)):>10}")
+    if stats.get("max_bytes") is not None:
+        lines.append(
+            f"  budget ($REPRO_CACHE_MAX_BYTES): {_fmt_bytes(stats['max_bytes'])}"
+        )
     counters = stats.get("counters", {})
     if counters:
         lines.append("lifetime counters:")

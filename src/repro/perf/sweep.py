@@ -74,7 +74,7 @@ from ..core.pipeline import (
 from ..obs import shard as obs_shard
 from ..obs import trace as obs
 from ..obs.memory import MemoryMonitor, memory_enabled
-from ..sparse import harwell_boeing as hb
+from ..sparse import registry
 from .cache import cached_partition, cached_prepare
 
 __all__ = [
@@ -164,9 +164,10 @@ def build_grid(
         if s not in _SCHEMES:
             raise ValueError(f"unknown scheme {s!r}; expected one of {_SCHEMES}")
     for m in matrices:
-        if m not in hb.PAPER_MATRICES:
+        if m not in registry.matrix_names():
             raise ValueError(
-                f"unknown matrix {m!r}; expected one of {tuple(hb.names())}"
+                f"unknown matrix {m!r}; expected one of "
+                f"{registry.matrix_names()}"
             )
     tasks: list[SweepTask] = []
     for matrix in matrices:
@@ -235,7 +236,7 @@ def _prepared(
 ) -> PreparedMatrix:
     key = (matrix, ordering)
     if key not in memo:
-        graph = hb.load(matrix)
+        graph = registry.load(matrix)
         if cache_dir is None:
             memo[key] = prepare(graph, ordering=ordering, name=matrix)
         else:
@@ -399,7 +400,7 @@ def sweep(
     """Measure every grid cell, fanning out over ``jobs`` processes.
 
     ``matrices`` is an iterable of registry names (see
-    :data:`repro.sparse.harwell_boeing.PAPER_MATRICES`).  With
+    :func:`repro.sparse.registry.matrix_names`).  With
     ``reuse`` (the default) cells are grouped per (matrix, scheme,
     grain, width): the nprocs-invariant stages run once per group and
     all of the group's processor counts are measured by the batched
@@ -476,7 +477,7 @@ def _sweep_parallel(
             # Prepare (or re-load) each matrix once up front so workers
             # always find a warm cache entry.
             for matrix in dict.fromkeys(matrices):
-                cached_prepare(hb.load(matrix), ordering, matrix, cache_str)
+                cached_prepare(registry.load(matrix), ordering, matrix, cache_str)
             t_epoch = time.perf_counter()
             pool_unix0 = time.time()
             results: list[SweepRecord | None] = [None] * len(tasks)

@@ -2,22 +2,37 @@
 
 from .coo import COOBuilder
 from .csc import LowerCSC, SymmetricCSC
+from .dtypes import as_index_array, index_dtype, linear_index
 from .generators import (
+    aniso_grid,
     band_graph,
     band_lower_pattern,
     grid5,
     grid9,
+    hex_mesh,
     knn_mesh,
     laplacian_matrix,
     lshape_mesh,
     path_graph,
     power_network,
+    powlaw_graph,
     random_symmetric_graph,
+    social_graph,
     spd_from_graph,
     star_graph,
     stiffened_cylinder,
+    tet_mesh,
 )
 from .harwell_boeing import PAPER_MATRICES, TestMatrix, load, names
+from .registry import (
+    BIG_MATRICES,
+    BIG_TIER_MIN_N,
+    GeneratedMatrix,
+    big_names,
+    is_big,
+    matrix_names,
+    pattern_fingerprint,
+)
 from .interop import (
     graph_from_scipy,
     lower_to_scipy,
@@ -34,19 +49,34 @@ __all__ = [
     "SymmetricCSC",
     "LowerPattern",
     "SymmetricGraph",
+    "aniso_grid",
     "band_graph",
     "band_lower_pattern",
     "grid5",
     "grid9",
+    "hex_mesh",
     "knn_mesh",
     "laplacian_matrix",
     "lshape_mesh",
     "path_graph",
     "power_network",
+    "powlaw_graph",
     "random_symmetric_graph",
+    "social_graph",
     "spd_from_graph",
     "star_graph",
     "stiffened_cylinder",
+    "tet_mesh",
+    "as_index_array",
+    "index_dtype",
+    "linear_index",
+    "BIG_MATRICES",
+    "BIG_TIER_MIN_N",
+    "GeneratedMatrix",
+    "big_names",
+    "is_big",
+    "matrix_names",
+    "pattern_fingerprint",
     "graph_from_scipy",
     "lower_to_scipy",
     "symmetric_from_scipy",

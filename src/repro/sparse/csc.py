@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .dtypes import index_dtype
 from .pattern import LowerPattern, SymmetricGraph
 
 __all__ = ["SymmetricCSC", "LowerCSC"]
@@ -28,8 +29,8 @@ class SymmetricCSC:
 
     @classmethod
     def from_entries(cls, n: int, rows, cols, vals) -> "SymmetricCSC":
-        rows = np.asarray(rows, dtype=np.int64)
-        cols = np.asarray(cols, dtype=np.int64)
+        rows = np.asarray(rows, dtype=index_dtype(n))
+        cols = np.asarray(cols, dtype=index_dtype(n))
         vals = np.asarray(vals, dtype=np.float64)
         pattern = LowerPattern.from_entries(n, rows, cols)
         values = np.zeros(pattern.nnz, dtype=np.float64)
@@ -77,9 +78,9 @@ class SymmetricCSC:
 
     def permute(self, perm) -> "SymmetricCSC":
         """Symmetric permutation: result[k, l] = self[perm[k], perm[l]]."""
-        perm = np.asarray(perm, dtype=np.int64)
-        inv = np.empty(self.n, dtype=np.int64)
-        inv[perm] = np.arange(self.n, dtype=np.int64)
+        perm = np.asarray(perm, dtype=index_dtype(self.n))
+        inv = np.empty(self.n, dtype=index_dtype(self.n))
+        inv[perm] = np.arange(self.n, dtype=index_dtype(self.n))
         rows = inv[self.pattern.rowidx]
         cols = inv[self.pattern.element_cols()]
         lo_r = np.maximum(rows, cols)

@@ -6,6 +6,15 @@ the test suite.  ``grid9(30, 30)`` regenerates the LAP30 problem exactly
 (900 equations, 4322 lower-triangular nonzeros); the other four
 Harwell-Boeing matrices are approximated by structural analogues — see
 DESIGN.md §2 and :mod:`repro.sparse.harwell_boeing`.
+
+The big-tier families (:func:`hex_mesh`, :func:`tet_mesh`,
+:func:`aniso_grid`, :func:`social_graph`, :func:`powlaw_graph`) scale to
+10⁵–10⁶ unknowns.  They are fully vectorized (edge lists are built in
+O(edges) memory with no Python loops over nodes) and seeded through
+``numpy.random.default_rng``, whose PCG64 stream is platform- and
+process-stable, so the same (family, parameters, seed) triple always
+produces a bit-identical pattern.  Named instances live in
+:mod:`repro.sparse.registry`.
 """
 
 from __future__ import annotations
@@ -29,6 +38,11 @@ __all__ = [
     "star_graph",
     "spd_from_graph",
     "laplacian_matrix",
+    "hex_mesh",
+    "tet_mesh",
+    "aniso_grid",
+    "social_graph",
+    "powlaw_graph",
 ]
 
 
@@ -348,3 +362,178 @@ def laplacian_matrix(graph: SymmetricGraph, shift: float = 1e-3) -> SymmetricCSC
     deg = graph.degree().astype(np.float64)
     vals = np.concatenate([-np.ones(len(u)), deg + shift])
     return SymmetricCSC.from_entries(graph.n, rows, cols, vals)
+
+
+# ----------------------------------------------------------------------
+# Big-tier generator families (10^5 - 10^6 unknowns)
+# ----------------------------------------------------------------------
+def _grid3d_index(nx: int, ny: int, nz: int) -> np.ndarray:
+    if nx < 1 or ny < 1 or nz < 1:
+        raise ValueError("grid dimensions must be positive")
+    return np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+
+
+def hex_mesh(nx: int, ny: int, nz: int) -> SymmetricGraph:
+    """Structured 3D hexahedral-element mesh on an ``nx x ny x nz`` grid.
+
+    Node (ix, iy, iz) has index ``(ix * ny + iy) * nz + iz``.  Edges are
+    the three axis-aligned face couplings plus the yz-plane (cross-
+    section) diagonals, i.e. the coupling of trilinear hex elements with
+    the in-plane shear terms retained.  The full 27-point hex stencil is
+    deliberately *not* used: its factor fill at 10^5+ unknowns pushes
+    update enumeration past the big-tier memory envelope, while this
+    stencil keeps the duct-shaped instances (long x, short y/z) inside
+    it.  Deterministic — no randomness.
+    """
+    idx = _grid3d_index(nx, ny, nz)
+    us, vs = [], []
+    us.append(idx[:-1, :, :].ravel())  # x faces
+    vs.append(idx[1:, :, :].ravel())
+    us.append(idx[:, :-1, :].ravel())  # y faces
+    vs.append(idx[:, 1:, :].ravel())
+    us.append(idx[:, :, :-1].ravel())  # z faces
+    vs.append(idx[:, :, 1:].ravel())
+    us.append(idx[:, :-1, :-1].ravel())  # yz main diagonal
+    vs.append(idx[:, 1:, 1:].ravel())
+    us.append(idx[:, 1:, :-1].ravel())  # yz anti diagonal
+    vs.append(idx[:, :-1, 1:].ravel())
+    return SymmetricGraph.from_edges(
+        idx.size, np.concatenate(us), np.concatenate(vs)
+    )
+
+
+def tet_mesh(nx: int, ny: int, nz: int) -> SymmetricGraph:
+    """Structured 3D tetrahedral mesh: Kuhn subdivision of a brick grid.
+
+    Every unit cube of the ``nx x ny x nz`` node grid is split into six
+    tetrahedra sharing the main body diagonal (the Freudenthal/Kuhn
+    triangulation).  The resulting node connectivity is the six axis
+    neighbours, one face diagonal per coordinate plane, and the body
+    diagonal — 14 neighbours per interior node.  Deterministic.
+    """
+    idx = _grid3d_index(nx, ny, nz)
+    us, vs = [], []
+    us.append(idx[:-1, :, :].ravel())  # x
+    vs.append(idx[1:, :, :].ravel())
+    us.append(idx[:, :-1, :].ravel())  # y
+    vs.append(idx[:, 1:, :].ravel())
+    us.append(idx[:, :, :-1].ravel())  # z
+    vs.append(idx[:, :, 1:].ravel())
+    us.append(idx[:-1, :-1, :].ravel())  # xy face diagonal
+    vs.append(idx[1:, 1:, :].ravel())
+    us.append(idx[:, :-1, :-1].ravel())  # yz face diagonal
+    vs.append(idx[:, 1:, 1:].ravel())
+    us.append(idx[:-1, :, :-1].ravel())  # xz face diagonal
+    vs.append(idx[1:, :, 1:].ravel())
+    us.append(idx[:-1, :-1, :-1].ravel())  # body diagonal
+    vs.append(idx[1:, 1:, 1:].ravel())
+    return SymmetricGraph.from_edges(
+        idx.size, np.concatenate(us), np.concatenate(vs)
+    )
+
+
+def aniso_grid(nx: int, ny: int, reach: int = 2) -> SymmetricGraph:
+    """2D anisotropic grid: 5-point stencil widened along the strong axis.
+
+    Models a strongly anisotropic operator discretized on an ``nx x ny``
+    grid with high aspect ratio (``nx >> ny``): besides the 5-point
+    couplings, each node couples to its x-neighbours at distances
+    ``2..reach`` — the wider stencil a high-order/upwinded scheme uses
+    along the strong-coupling direction.  Deterministic.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dimensions must be positive")
+    if reach < 1:
+        raise ValueError("reach must be >= 1")
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    us, vs = [], []
+    us.append(idx[:, :-1].ravel())  # y-direction (weak axis)
+    vs.append(idx[:, 1:].ravel())
+    for r in range(1, reach + 1):  # x-direction links of range 1..reach
+        if r < nx:
+            us.append(idx[:-r, :].ravel())
+            vs.append(idx[r:, :].ravel())
+    return SymmetricGraph.from_edges(
+        nx * ny, np.concatenate(us), np.concatenate(vs)
+    )
+
+
+def social_graph(
+    n: int,
+    chords_per_node: float = 1.8,
+    gamma: float = 2.5,
+    max_len: int = 256,
+    seed: int = 0,
+) -> SymmetricGraph:
+    """Locality-bounded small-world graph: ring plus power-law chords.
+
+    A Hamiltonian ring guarantees connectivity; on top of it,
+    ``round(n * chords_per_node)`` chords connect each sampled node to a
+    neighbour at a Pareto(``gamma`` - 1)-distributed ring distance capped
+    at ``max_len``.  The heavy-tailed chord lengths give the long-range
+    shortcuts of a social/communication network while the cap bounds the
+    separator growth, keeping minimum-degree ordering and update
+    enumeration feasible at 10^5+ unknowns (unlike an uncapped power-law
+    graph — see :func:`powlaw_graph`).
+    """
+    if n < 3:
+        raise ValueError("social_graph needs n >= 3")
+    rng = np.random.default_rng(seed)
+    ring = np.arange(n, dtype=np.int64)
+    us = [ring]
+    vs = [np.roll(ring, -1)]
+    m = int(round(n * chords_per_node))
+    if m:
+        lengths = np.minimum(
+            (rng.pareto(gamma - 1.0, size=m) + 1.0).astype(np.int64) * 2,
+            max_len,
+        )
+        a = rng.integers(0, n, size=m)
+        us.append(a)
+        vs.append((a + lengths) % n)
+    return SymmetricGraph.from_edges(n, np.concatenate(us), np.concatenate(vs))
+
+
+def powlaw_graph(
+    n: int,
+    avg_degree: float = 3.0,
+    gamma: float = 2.5,
+    max_degree: int | None = None,
+    seed: int = 0,
+) -> SymmetricGraph:
+    """Power-law (Chung-Lu style) graph over a random recursive tree.
+
+    A vectorized random recursive tree guarantees connectivity; extra
+    edges are then sampled with endpoint probabilities proportional to
+    Zipf(``gamma``) weights (optionally truncated at ``max_degree``-like
+    weight cap), giving a heavy-tailed degree distribution.
+
+    .. warning::
+       The global hubs make the factor of such graphs nearly dense:
+       update enumeration needs >10^9 pairs at n = 10^5 under *any*
+       fill-reducing ordering.  Registered big-tier instances of this
+       family are therefore generator/partition-study only — run
+       ``prepare()`` and the partitioner on them, not the full metrics
+       sweep.  See docs/performance.md.
+    """
+    if n < 2:
+        raise ValueError("powlaw_graph needs n >= 2")
+    rng = np.random.default_rng(seed)
+    # Random recursive tree: node k >= 1 attaches to a uniform earlier node.
+    parents = (rng.random(n - 1) * np.arange(1, n)).astype(np.int64)
+    us = [parents]
+    vs = [np.arange(1, n, dtype=np.int64)]
+    extra = int(round(n * max(avg_degree - 2.0, 0.0) / 2.0))
+    if extra:
+        w = np.arange(1, n + 1, dtype=np.float64) ** (-1.0 / (gamma - 1.0))
+        if max_degree is not None:
+            w = np.minimum(w, max_degree / float(n))
+        p = w / w.sum()
+        a = rng.choice(n, size=extra, p=p)
+        b = rng.choice(n, size=extra, p=p)
+        # Decouple weight rank from node id so hubs are spread over the
+        # index space (a relabelling by random permutation).
+        relabel = rng.permutation(n)
+        us.append(relabel[a])
+        vs.append(relabel[b])
+    return SymmetricGraph.from_edges(n, np.concatenate(us), np.concatenate(vs))

@@ -17,14 +17,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .dtypes import as_index_array as _as_index_array
+from .dtypes import index_dtype, linear_index
+
 __all__ = ["SymmetricGraph", "LowerPattern"]
-
-
-def _as_index_array(a) -> np.ndarray:
-    arr = np.asarray(a, dtype=np.int64)
-    if arr.ndim != 1:
-        raise ValueError(f"expected 1-D index array, got shape {arr.shape}")
-    return arr
 
 
 @dataclass(frozen=True)
@@ -65,14 +61,15 @@ class SymmetricGraph:
             raise ValueError("edge endpoint out of range")
         keep = u != v
         u, v = u[keep], v[keep]
-        # Symmetrize, then dedupe via the linearized key of each directed edge.
+        # Symmetrize, then dedupe via the linearized key of each directed
+        # edge.  The sorted unique keys are already in (src, dst) order,
+        # so src/dst are recovered by div/mod — no lexsort pass.
+        idt = index_dtype(n)
         src = np.concatenate([u, v])
         dst = np.concatenate([v, u])
-        key = src * np.int64(n) + dst
-        _, first = np.unique(key, return_index=True)
-        src, dst = src[first], dst[first]
-        order = np.lexsort((dst, src))
-        src, dst = src[order], dst[order]
+        key = np.unique(linear_index(src, dst, n))
+        src = (key // n).astype(idt)
+        dst = (key % n).astype(idt)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.add.at(indptr, src + 1, 1)
         np.cumsum(indptr, out=indptr)
@@ -92,7 +89,9 @@ class SymmetricGraph:
 
     @classmethod
     def empty(cls, n: int) -> "SymmetricGraph":
-        return cls(n, np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        return cls(
+            n, np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=index_dtype(n))
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -121,7 +120,7 @@ class SymmetricGraph:
 
     def edges(self) -> tuple[np.ndarray, np.ndarray]:
         """Return (u, v) arrays with u < v, one entry per undirected edge."""
-        src = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        src = np.repeat(np.arange(self.n, dtype=index_dtype(self.n)), np.diff(self.indptr))
         dst = self.indices
         keep = src < dst
         return src[keep], dst[keep]
@@ -139,8 +138,8 @@ class SymmetricGraph:
         perm = _as_index_array(perm)
         if sorted(perm.tolist()) != list(range(self.n)):
             raise ValueError("perm is not a permutation of 0..n-1")
-        inv = np.empty(self.n, dtype=np.int64)
-        inv[perm] = np.arange(self.n, dtype=np.int64)
+        inv = np.empty(self.n, dtype=index_dtype(self.n))
+        inv[perm] = np.arange(self.n, dtype=index_dtype(self.n))
         u, v = self.edges()
         return SymmetricGraph.from_edges(self.n, inv[u], inv[v])
 
@@ -153,8 +152,9 @@ class SymmetricGraph:
     def lower(self) -> "LowerPattern":
         """Lower-triangular pattern (diagonal added) of this matrix."""
         u, v = self.edges()  # u < v; lower entry is (v, u): row v, col u
-        rows = np.concatenate([v, np.arange(self.n, dtype=np.int64)])
-        cols = np.concatenate([u, np.arange(self.n, dtype=np.int64)])
+        diag = np.arange(self.n, dtype=index_dtype(self.n))
+        rows = np.concatenate([v, diag])
+        cols = np.concatenate([u, diag])
         return LowerPattern.from_entries(self.n, rows, cols)
 
     def __eq__(self, other) -> bool:  # pragma: no cover - trivial
@@ -213,13 +213,12 @@ class LowerPattern:
             raise ValueError("entry above the diagonal in a LowerPattern")
         if len(rows) and (rows.max() >= n or cols.min() < 0):
             raise ValueError("entry out of range")
-        diag = np.arange(n, dtype=np.int64)
+        diag = np.arange(n, dtype=index_dtype(n))
         rows = np.concatenate([rows, diag])
         cols = np.concatenate([cols, diag])
-        key = cols * np.int64(n) + rows
-        key = np.unique(key)
+        key = np.unique(linear_index(cols, rows, n))
         cols = key // n
-        rows = key % n
+        rows = (key % n).astype(index_dtype(n))
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.add.at(indptr, cols + 1, 1)
         np.cumsum(indptr, out=indptr)
@@ -286,7 +285,9 @@ class LowerPattern:
 
     def element_cols(self) -> np.ndarray:
         """Column index of every element id."""
-        return np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        return np.repeat(
+            np.arange(self.n, dtype=index_dtype(self.n)), np.diff(self.indptr)
+        )
 
     def to_dense_bool(self) -> np.ndarray:
         out = np.zeros((self.n, self.n), dtype=bool)

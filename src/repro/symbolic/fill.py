@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..obs import trace as obs
+from ..sparse.dtypes import index_dtype
 from ..sparse.pattern import LowerPattern, SymmetricGraph
 from .etree import children_lists, etree, tree_levels
 
@@ -98,12 +99,13 @@ def symbolic_cholesky(graph: SymmetricGraph, perm=None) -> SymbolicFactor:
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
     total = int(indptr[n])
+    # The row buffer is written straight at its final index dtype (int32
+    # below 2^31 rows): a Python-list buffer of boxed ints would cost
+    # ~10x the memory of the factor itself at nnz(L) in the millions.
     # Pre-place the diagonals; fill[j] is the next free slot of column j.
-    rowbuf = [0] * total
-    fill = indptr[:-1].tolist()
-    for j in range(n):
-        rowbuf[fill[j]] = j
-        fill[j] += 1
+    rowbuf = np.empty(total, dtype=index_dtype(n))
+    rowbuf[indptr[:-1]] = np.arange(n, dtype=rowbuf.dtype)
+    fill = (indptr[:-1] + 1).tolist()
     par = parent.tolist()
     mark = [-1] * n
     gp = work.indptr.tolist()
@@ -119,7 +121,7 @@ def symbolic_cholesky(graph: SymmetricGraph, perm=None) -> SymbolicFactor:
                 rowbuf[fill[k]] = i
                 fill[k] += 1
                 k = par[k]
-    rowidx = np.asarray(rowbuf, dtype=np.int64)
+    rowidx = rowbuf
     if fill != indptr[1:].tolist():  # pragma: no cover - internal invariant
         raise AssertionError("row-subtree walk disagrees with GNP column counts")
     if obs.is_enabled():

@@ -16,6 +16,7 @@ from functools import cached_property
 
 import numpy as np
 
+from ..sparse.dtypes import index_dtype, linear_index
 from ..sparse.pattern import LowerPattern
 
 __all__ = ["UpdateSet", "enumerate_updates", "enumerate_updates_reference"]
@@ -49,7 +50,9 @@ class UpdateSet:
     @cached_property
     def scale_source(self) -> np.ndarray:
         """For every element id, the element id of its column's diagonal."""
-        return self.pattern.indptr[:-1][self.element_cols]
+        return self.pattern.indptr[:-1][self.element_cols].astype(
+            index_dtype(self.pattern.nnz)
+        )
 
     @cached_property
     def update_counts(self) -> np.ndarray:
@@ -120,7 +123,8 @@ def enumerate_updates(pattern: LowerPattern) -> UpdateSet:
     indptr = pattern.indptr
     rowidx = pattern.rowidx
     n = pattern.n
-    empty = np.zeros(0, dtype=np.int64)
+    edt = index_dtype(pattern.nnz)  # element-id storage dtype
+    empty = np.zeros(0, dtype=edt)
     m = np.diff(indptr) - 1  # off-diagonal count per column
     nnz_off = int(m.sum())
     if nnz_off == 0:
@@ -130,39 +134,43 @@ def enumerate_updates(pattern: LowerPattern) -> UpdateSet:
     # (k, a) expands into the a+1 pairs (a, b) for b = 0..a, which is
     # exactly np.tril_indices order when one column's incidences are
     # taken consecutively.  Everything below is sized nnz_off until the
-    # np.repeat calls fan out to one entry per pair.
-    col_of_off = np.repeat(np.arange(n, dtype=np.int64), m)
-    off_eid = np.arange(nnz_off, dtype=np.int64) + col_of_off + 1
-    first_off_eid = indptr[col_of_off] + 1
+    # np.repeat calls fan out to one entry per pair.  Indices stay at
+    # the narrow element-id dtype; the pair total is accumulated in
+    # int64 unconditionally — it is the one count here that genuinely
+    # overflows 32 bits on large problems.
+    col_of_off = np.repeat(np.arange(n, dtype=edt), m)
+    off_eid = np.arange(nnz_off, dtype=edt) + col_of_off + 1
+    first_off_eid = (indptr[col_of_off] + 1).astype(edt)
     a_within = off_eid - first_off_eid
     reps = a_within + 1
-    pair_cum = np.cumsum(reps)
+    pair_cum = np.cumsum(reps, dtype=np.int64)
     total = int(pair_cum[-1])
+    pdt = index_dtype(total)  # pair-index dtype (within-incidence offsets)
 
-    b = np.arange(total, dtype=np.int64)
-    b -= np.repeat(pair_cum - reps, reps)  # pair index within its incidence
-    source_j = np.repeat(first_off_eid, reps) + b
+    b = np.arange(total, dtype=pdt)
+    b -= np.repeat((pair_cum - reps).astype(pdt), reps)  # pair index within its incidence
+    source_j = (np.repeat(first_off_eid, reps) + b).astype(edt, copy=False)
     source_i = np.repeat(off_eid, reps)
     k = np.repeat(col_of_off, reps)
     i = np.repeat(rowidx[off_eid], reps)
     j = rowidx[source_j]
 
     if n <= _DENSE_LOOKUP_LIMIT:
-        dense = np.full((n, n), -1, dtype=np.int64)
-        dense[rowidx, pattern.element_cols()] = np.arange(pattern.nnz, dtype=np.int64)
+        dense = np.full((n, n), -1, dtype=edt)
+        dense[rowidx, pattern.element_cols()] = np.arange(pattern.nnz, dtype=edt)
         target = dense[i, j]
         bad = target < 0
     else:
         # Element ids are positions in rowidx, and rowidx is sorted by
         # (column, row); one searchsorted over the linearized key
         # resolves all targets at once in O(nnz) memory.
-        elem_key = pattern.element_cols() * np.int64(n) + rowidx
-        query = j * np.int64(n)
-        query += i
+        elem_key = linear_index(pattern.element_cols(), rowidx, n)
+        query = linear_index(j, i, n)
         target = np.searchsorted(elem_key, query)
         bad = (target >= pattern.nnz) | (
             elem_key[np.minimum(target, pattern.nnz - 1)] != query
         )
+        target = target.astype(edt, copy=False)
     if bad.any():
         bad_col = int(k[np.flatnonzero(bad)[0]])
         raise ValueError(

@@ -1,0 +1,103 @@
+"""Chunked batched-traffic kernel vs the one-shot reference.
+
+The contract the streaming rework must keep: for ANY chunk size the
+accumulated counts are bit-identical to :func:`batched_traffic_oneshot`
+(and hence to the per-assignment references) — on every bundled matrix.
+Chunk boundaries are snapped to source-run starts, so no (processor,
+source) pair can be double-counted across chunks; these tests drive the
+kernel at adversarially tiny chunk sizes where any snapping bug shows
+up immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    partition_prepared,
+    prepare,
+    schedule_blocks,
+    wrap_assignment,
+)
+from repro.machine import (
+    batched_traffic,
+    batched_traffic_oneshot,
+    build_read_index,
+    read_chunk_bounds,
+)
+from repro.sparse import harwell_boeing as hb
+
+PROCS = (3, 16, 64)
+
+
+@pytest.fixture(scope="module", params=hb.names())
+def prepped(request):
+    return prepare(hb.load(request.param), name=request.param)
+
+
+def _mixed_batch(prepped):
+    pm = partition_prepared(prepped, grain=25, min_width=4)
+    block = [
+        schedule_blocks(pm.partition, pm.dependencies, p, unit_work=pm.unit_work)
+        for p in PROCS
+    ]
+    wrap = [wrap_assignment(prepped.pattern, p) for p in PROCS]
+    assignments = block + wrap
+    owners = [a.owner_of_element for a in assignments]
+    nprocs = [a.nprocs for a in assignments]
+    return owners, nprocs
+
+
+class TestChunkedBitIdentity:
+    @pytest.mark.parametrize("chunk_reads", [1, 7, 1000, 10**9])
+    def test_every_bundled_matrix(self, prepped, chunk_reads):
+        owners, nprocs = _mixed_batch(prepped)
+        index = build_read_index(prepped.updates)
+        reference = batched_traffic_oneshot(
+            prepped.updates, owners, nprocs, read_index=index
+        )
+        chunked = batched_traffic(
+            prepped.updates, owners, nprocs, read_index=index,
+            chunk_reads=chunk_reads,
+        )
+        assert len(chunked) == len(reference)
+        for got, want in zip(chunked, reference):
+            np.testing.assert_array_equal(got.per_processor, want.per_processor)
+
+    def test_env_override(self, prepped, monkeypatch):
+        owners, nprocs = _mixed_batch(prepped)
+        reference = batched_traffic_oneshot(prepped.updates, owners, nprocs)
+        monkeypatch.setenv("REPRO_BATCH_CHUNK_READS", "13")
+        chunked = batched_traffic(prepped.updates, owners, nprocs)
+        for got, want in zip(chunked, reference):
+            np.testing.assert_array_equal(got.per_processor, want.per_processor)
+
+
+class TestReadChunkBounds:
+    def test_trivial_cases(self):
+        assert read_chunk_bounds(np.zeros(0, dtype=np.int32), 10) == [0]
+        src = np.array([0, 0, 1], dtype=np.int32)
+        assert read_chunk_bounds(src, 0) == [0, 3]  # 0 disables chunking
+        assert read_chunk_bounds(src, 10) == [0, 3]
+
+    def test_bounds_never_split_a_source_run(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            runs = rng.integers(1, 9, size=rng.integers(1, 40))
+            src = np.repeat(np.arange(len(runs)), runs).astype(np.int32)
+            chunk = int(rng.integers(1, 12))
+            bounds = read_chunk_bounds(src, chunk)
+            assert bounds[0] == 0 and bounds[-1] == len(src)
+            assert bounds == sorted(set(bounds))
+            for b in bounds[1:-1]:
+                assert src[b] != src[b - 1], "boundary splits a source run"
+
+    def test_giant_single_run_becomes_one_chunk(self):
+        src = np.zeros(100, dtype=np.int32)
+        assert read_chunk_bounds(src, 7) == [0, 100]
+
+    def test_covers_all_reads_exactly_once(self):
+        src = np.repeat(np.arange(20), 3).astype(np.int32)
+        bounds = read_chunk_bounds(src, 4)
+        spans = list(zip(bounds, bounds[1:]))
+        assert sum(hi - lo for lo, hi in spans) == len(src)
+        assert all(hi > lo for lo, hi in spans)

@@ -1,0 +1,211 @@
+"""Big-tier generator families: determinism and structural invariants.
+
+Determinism is asserted the way the registry relies on it: the same
+(family, parameters, seed) triple must produce a bit-identical pattern
+fingerprint *in a fresh process*, not merely within this one — a warm
+``lru_cache`` or module-level RNG state would hide a real divergence.
+Structural invariants (symmetry is guaranteed by ``SymmetricGraph``
+itself, so: connectivity, degree bounds, bandwidth/locality bounds) are
+checked per family at small sizes.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.sparse import registry
+from repro.sparse.generators import (
+    aniso_grid,
+    hex_mesh,
+    powlaw_graph,
+    social_graph,
+    tet_mesh,
+)
+from repro.sparse.registry import pattern_fingerprint
+
+
+def _is_connected(graph) -> bool:
+    import networkx as nx
+
+    u, v = graph.edges()
+    G = nx.Graph(zip(u.tolist(), v.tolist()))
+    G.add_nodes_from(range(graph.n))
+    return nx.is_connected(G)
+
+
+#: (label, zero-argument builder) pairs exercised by the determinism
+#: tests.  Expressions are evaluated both here and in a subprocess.
+FAMILY_EXPRS = {
+    "hex": "g.hex_mesh(9, 4, 3)",
+    "tet": "g.tet_mesh(7, 4, 3)",
+    "aniso": "g.aniso_grid(40, 6, reach=3)",
+    "social": "g.social_graph(3000, seed=5)",
+    "powlaw": "g.powlaw_graph(3000, seed=5)",
+}
+
+
+def _fingerprint_in_subprocess(expr: str) -> str:
+    code = (
+        "from repro.sparse import generators as g\n"
+        "from repro.sparse.registry import pattern_fingerprint\n"
+        f"print(pattern_fingerprint({expr}))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    return out.stdout.strip()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", sorted(FAMILY_EXPRS))
+    def test_same_seed_same_fingerprint_across_processes(self, family):
+        expr = FAMILY_EXPRS[family]
+        from repro.sparse import generators as g  # noqa: F401 - used by eval
+
+        local = pattern_fingerprint(eval(expr))
+        assert _fingerprint_in_subprocess(expr) == local
+
+    def test_different_seeds_differ(self):
+        a = pattern_fingerprint(social_graph(2000, seed=1))
+        b = pattern_fingerprint(social_graph(2000, seed=2))
+        assert a != b
+        a = pattern_fingerprint(powlaw_graph(2000, seed=1))
+        b = pattern_fingerprint(powlaw_graph(2000, seed=2))
+        assert a != b
+
+    def test_fingerprint_is_dtype_independent(self):
+        g = social_graph(500, seed=3)
+        from repro.sparse.pattern import SymmetricGraph
+
+        widened = SymmetricGraph(
+            g.n, g.indptr.astype(np.int64), g.indices.astype(np.int64)
+        )
+        assert pattern_fingerprint(widened) == pattern_fingerprint(g)
+
+
+class TestHexMesh:
+    def test_counts_and_connectivity(self):
+        g = hex_mesh(6, 4, 3)
+        assert g.n == 72
+        assert _is_connected(g)
+        # Faces (x, y, z) + the two yz-plane diagonal sets.
+        assert int(g.degree().max()) <= 10
+
+    def test_bandwidth_bound(self):
+        nx_, ny, nz = 9, 4, 3
+        g = hex_mesh(nx_, ny, nz)
+        u, v = g.edges()
+        # The farthest coupling is the x face (index stride ny*nz) or a
+        # yz diagonal (stride nz + 1); nothing reaches past ny*nz.
+        assert int((v - u).max()) <= ny * nz
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            hex_mesh(0, 4, 4)
+
+
+class TestTetMesh:
+    def test_counts_and_connectivity(self):
+        g = tet_mesh(5, 4, 3)
+        assert g.n == 60
+        assert _is_connected(g)
+        # 6 axis + 6 face-diagonal + 2 body-diagonal incidences.
+        assert int(g.degree().max()) <= 14
+
+    def test_contains_hex_edges(self):
+        # The Kuhn mesh refines the face-coupling skeleton: every axis
+        # edge of the grid is present.
+        g = tet_mesh(4, 3, 3)
+        idx = np.arange(4 * 3 * 3).reshape(4, 3, 3)
+        assert g.has_edge(int(idx[0, 0, 0]), int(idx[1, 0, 0]))
+        assert g.has_edge(int(idx[0, 0, 0]), int(idx[1, 1, 1]))  # body diag
+
+
+class TestAnisoGrid:
+    def test_reach_one_is_grid5(self):
+        from repro.sparse.generators import grid5
+
+        assert aniso_grid(7, 5, reach=1) == grid5(7, 5)
+
+    def test_connectivity_and_degree(self):
+        g = aniso_grid(30, 5, reach=2)
+        assert g.n == 150
+        assert _is_connected(g)
+        assert int(g.degree().max()) <= 2 + 2 * 2  # y pair + 2 x links/side
+
+    def test_bandwidth_bound(self):
+        ny, reach = 6, 3
+        g = aniso_grid(25, ny, reach=reach)
+        u, v = g.edges()
+        assert int((v - u).max()) <= reach * ny
+
+    def test_rejects_bad_reach(self):
+        with pytest.raises(ValueError):
+            aniso_grid(5, 5, reach=0)
+
+
+class TestSocialGraph:
+    def test_connected_by_ring(self):
+        g = social_graph(400, seed=9)
+        assert _is_connected(g)
+
+    def test_chord_length_cap(self):
+        n, cap = 5000, 64
+        g = social_graph(n, max_len=cap, seed=2)
+        u, v = g.edges()
+        ring_dist = np.minimum(v - u, n - (v - u))
+        assert int(ring_dist.max()) <= cap
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            social_graph(2)
+
+
+class TestPowlawGraph:
+    def test_connected_by_tree(self):
+        g = powlaw_graph(800, seed=3)
+        assert _is_connected(g)
+
+    def test_heavy_tail(self):
+        g = powlaw_graph(4000, avg_degree=4.0, seed=1)
+        deg = g.degree()
+        # Hubs: the max degree dwarfs the mean, unlike the bounded
+        # families above.
+        assert int(deg.max()) > 10 * float(deg.mean())
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            powlaw_graph(1)
+
+
+class TestRegistry:
+    def test_names_cover_both_tiers(self):
+        names = registry.matrix_names()
+        assert "LAP30" in names and "SOC100K" in names
+        assert set(registry.big_names()) <= set(names)
+
+    def test_registered_sizes_are_big(self):
+        for m in registry.BIG_MATRICES.values():
+            assert m.n >= registry.BIG_TIER_MIN_N
+
+    def test_load_paper_matrix(self):
+        g = registry.load("LAP30")
+        assert g.n == 900
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            registry.load("NOPE")
+
+    def test_is_big(self):
+        assert registry.is_big("SOC100K")
+        assert not registry.is_big("LAP30")
+
+    def test_sweep_grid_accepts_big_names(self):
+        from repro.perf.sweep import build_grid
+
+        tasks = build_grid(["SOC100K"], ("wrap",), (4,), (4,), (4,))
+        assert tasks and tasks[0].matrix == "SOC100K"
+        with pytest.raises(ValueError):
+            build_grid(["NOPE"], ("wrap",), (4,), (4,), (4,))
