@@ -16,8 +16,9 @@ from .experiments import (
 )
 from .claims import ClaimResult, check_claims, render_claims
 from .compare import comparison_rows, render_comparison
+from .explain import ExplainResult, explain_manifest, explain_run, render_explain
 from .figures import figure1_ascii, figure2_ascii, figure3_ascii, figure4_report
-from .gantt import render_gantt
+from .gantt import render_gantt, render_gantt_reference
 from .report import generate_report
 from .stats import partition_statistics, render_partition_stats
 from .sweep import SweepRecord, records_to_csv, sweep
@@ -41,12 +42,17 @@ __all__ = [
     "table5_rows",
     "comparison_rows",
     "render_comparison",
+    "ExplainResult",
+    "explain_manifest",
+    "explain_run",
+    "render_explain",
     "figure1_ascii",
     "figure2_ascii",
     "figure3_ascii",
     "figure4_report",
     "generate_report",
     "render_gantt",
+    "render_gantt_reference",
     "partition_statistics",
     "render_partition_stats",
     "SweepRecord",

@@ -33,7 +33,7 @@ from .analysis import (
 _TARGETS = ["table1", "table2", "table3", "table4", "table5",
             "figure1", "figure2", "figure3", "figure4"]
 _EXTRA_TARGETS = ["stats", "report", "claims", "sweep", "scorecard", "compare",
-                  "bench", "bench-sweep"]
+                  "bench", "bench-sweep", "explain"]
 
 #: Every invocable target with a one-line description, in the stable
 #: order ``--help`` lists them.  Keep this in sync with ``_emit`` /
@@ -55,6 +55,8 @@ _TARGET_HELP: dict[str, str] = {
     "claims": "per-claim verification verdicts",
     "compare": "side-by-side paper/measured tables",
     "scorecard": "block-vs-wrap metric scorecard",
+    "explain": "simulate one (matrix, scheme, P) cell and attribute "
+               "its communication and imbalance (HTML + registry run)",
     "trace": "run any target under tracing (see --trace-out)",
     "profile": "run any target under the sampling profiler (--hz)",
     "sweep": "parallel (matrix, scheme, P, g) grid sweep",
@@ -242,6 +244,7 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             out=out,
             repeats=args.bench_repeats,
             tier=args.tier,
+            stretch=args.stretch,
         )
         from .obs import runs as obs_runs
 
@@ -309,6 +312,42 @@ def _emit(target: str, args: argparse.Namespace) -> str:
             text += "\n\ndelta vs baseline " + str(baseline_path) + ":\n"
             text += render_sweep_delta(report, baseline)
         return text
+    if target == "explain":
+        import time
+
+        from .analysis.explain import (
+            explain_manifest,
+            explain_run,
+            render_explain,
+        )
+        from .obs import runs as obs_runs
+        from .obs.report import build_report
+
+        t0 = time.perf_counter()
+        result = explain_run(args.matrix, scheme=args.scheme,
+                             nprocs=args.nprocs, grain=args.grain)
+        wall = time.perf_counter() - t0
+        doc = explain_manifest(result)
+        manifest = obs_runs.record_run(
+            "explain",
+            config={"matrix": args.matrix, "scheme": args.scheme,
+                    "nprocs": args.nprocs, "grain": args.grain},
+            counters={"explain.messages": doc["n_messages"],
+                      "explain.message_bytes": doc["message_bytes"]},
+            wall_s=wall,
+            extra={"explain": doc},
+        )
+        if manifest is None:  # read-only registry: still render the page
+            manifest = {"run_id": "(unrecorded)", "kind": "explain",
+                        "explain": doc}
+        out = (args.output
+               or f"EXPLAIN_{args.matrix}_{args.scheme}_p{args.nprocs}.html")
+        with open(out, "w") as fh:
+            fh.write(build_report(manifest))
+        return (render_explain(result)
+                + f"\n\nregistry run {manifest.get('run_id', '?')} "
+                  "(kind explain)"
+                + f"\nHTML report written to {out}")
     if target == "scorecard":
         from .analysis import render_table
         from .analysis.experiments import prepared_matrix
@@ -369,16 +408,30 @@ def _simulate_for_trace(args: argparse.Namespace) -> None:
 
 def _run_traced(target: str, args: argparse.Namespace) -> tuple[str, str]:
     """Emit ``target`` under a fresh recorder; returns (output, summary)."""
-    from . import obs
+    import time
 
+    from . import obs
+    from .obs import runs as obs_runs
+
+    t0 = time.perf_counter()
     with obs.enabled(obs.Recorder()) as rec:
         with obs.span("cli.target", target=target):
             text = _emit(target, args)
         _simulate_for_trace(args)
+    wall = time.perf_counter() - t0
     if args.trace_out:
         obs.write_chrome_trace(rec, args.trace_out)
     if args.trace_jsonl:
         obs.write_jsonl(rec, args.trace_jsonl)
+    obs_runs.record_run(
+        "trace",
+        config={"target": target, "matrix": args.matrix, "grain": args.grain,
+                "nprocs": args.nprocs},
+        counters=dict(rec.counters),
+        wall_s=wall,
+        extra={"gauges": {k: v for k, v in rec.gauges.items()
+                          if isinstance(v, (int, float, str))}},
+    )
     return text, obs.summary_table(rec)
 
 
@@ -429,7 +482,8 @@ def _runs_main(argv: list[str]) -> int:
     sub = parser.add_subparsers(dest="cmd", required=True, metavar="COMMAND")
     p_list = sub.add_parser("list", help="list recorded runs, oldest first")
     p_list.add_argument("--kind", default=None,
-                        help="only runs of this kind (sweep, bench, bench-sweep)")
+                        help="only runs of this kind (trace, profile, bench, "
+                             "bench-sweep, sweep, explain)")
     p_show = sub.add_parser("show", help="print one run manifest as JSON")
     p_show.add_argument("ref", help="run id (or unique prefix), 'latest', "
                                     "'<kind>:latest', or a JSON report file")
@@ -575,7 +629,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=None,
         metavar="traced-target",
-        help="with 'trace'/'profile': the target to run under it",
+        help="with 'trace'/'profile': the target to run under it; "
+             "with 'explain': the matrix name",
     )
     parser.add_argument("--nx", type=int, default=5, help="figure2 grid width")
     parser.add_argument("--ny", type=int, default=5, help="figure2 grid height")
@@ -586,8 +641,13 @@ def main(argv: list[str] | None = None) -> int:
                              "to every paper matrix)")
     parser.add_argument("--grain", type=int, default=25,
                         help="grain size for figure4/stats/trace/bench")
-    parser.add_argument("--nprocs", type=int, default=16,
-                        help="processor count for the traced simulation and bench")
+    parser.add_argument("-p", "--nprocs", type=int, default=16,
+                        help="processor count for explain, the traced "
+                             "simulation and bench")
+    parser.add_argument("--scheme", default="block",
+                        choices=("block", "block-adaptive", "wrap"),
+                        help="with 'explain': the mapping scheme to simulate "
+                             "and attribute (default block)")
     parser.add_argument("--output", default=None,
                         help="write the report target to a file")
     parser.add_argument("--jobs", type=int, default=1,
@@ -626,6 +686,11 @@ def main(argv: list[str] | None = None) -> int:
                              "10^5-unknown generated instances and writes "
                              "BENCH_*_big.json by default (--smoke then runs "
                              "the single smallest big instance)")
+    parser.add_argument("--stretch", action="store_true",
+                        help="with 'bench --tier big': also bench the "
+                             "10^6-unknown stretch instances (GRIDA1M, "
+                             "SOC1M); off by default — expect minutes per "
+                             "matrix and multi-GB RSS")
     parser.add_argument("--bench-out", default=None, metavar="FILE",
                         help="with 'bench'/'bench-sweep': where to write the "
                              "JSON report (default BENCH_pipeline.json / "
@@ -713,9 +778,15 @@ def main(argv: list[str] | None = None) -> int:
                           "https://www.speedscope.app)")
             return 0
 
+        if args.target == "explain" and args.subtarget is not None:
+            # `explain CANN1072` reads more naturally than --matrix.
+            args.matrix = args.subtarget
+            args.subtarget = None
+
         if args.subtarget is not None:
             print(f"error: unexpected argument {args.subtarget!r} "
-                  f"(only 'trace' and 'profile' take a second target)",
+                  f"(only 'trace', 'profile' and 'explain' take a "
+                  "second argument)",
                   file=sys.stderr)
             return 2
 
@@ -731,8 +802,11 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet:
             print("\n\n".join(chunks))
         return 0
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (KeyError, ValueError) as exc:
+        # KeyError (unknown matrix name) carries its message as args[0];
+        # str() would wrap it in an extra layer of quotes.
+        msg = exc.args[0] if exc.args else exc
+        print(f"error: {msg}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -16,12 +16,21 @@ from .simulate import (
     MachineModel,
     ScheduleTimeline,
     edge_volumes,
+    simulate_assignment,
     simulate_schedule,
+    simulation_messages,
     topological_order,
+    unit_graph,
 )
-from .scorecard import scorecard
+from .scorecard import scorecard, sim_scorecard
 from .solve_metrics import solve_balance, solve_traffic, solve_work
-from .traffic import TrafficResult, communication_matrix, data_traffic, data_traffic_reference
+from .traffic import (
+    TrafficResult,
+    access_pairs,
+    communication_matrix,
+    data_traffic,
+    data_traffic_reference,
+)
 from .work import processor_work, processor_work_reference, total_work, unit_work
 
 __all__ = [
@@ -41,13 +50,18 @@ __all__ = [
     "MachineModel",
     "ScheduleTimeline",
     "edge_volumes",
+    "simulate_assignment",
     "simulate_schedule",
+    "simulation_messages",
     "topological_order",
+    "unit_graph",
     "scorecard",
+    "sim_scorecard",
     "solve_balance",
     "solve_traffic",
     "solve_work",
     "TrafficResult",
+    "access_pairs",
     "communication_matrix",
     "data_traffic",
     "data_traffic_reference",

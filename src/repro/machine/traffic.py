@@ -25,6 +25,7 @@ __all__ = [
     "data_traffic",
     "data_traffic_reference",
     "communication_matrix",
+    "access_pairs",
 ]
 
 
@@ -60,6 +61,12 @@ def _access_pairs(
         procs.append(owner)
         srcs.append(updates.scale_source)
     return np.concatenate(procs), np.concatenate(srcs)
+
+
+#: Public alias: the simulated message ledger
+#: (:func:`repro.machine.simulate.simulation_messages`) dedups the same
+#: pairs so its total bytes bit-match :func:`data_traffic`.
+access_pairs = _access_pairs
 
 
 def data_traffic(

@@ -90,15 +90,17 @@ class _Mailbox:
         self._pending: deque = deque()
         self._cond = threading.Condition()
 
-    def put(self, source: int, tag: int, payload) -> None:
+    def put(self, source: int, tag: int, payload, msg_id: int | None = None) -> None:
+        # msg_id threads the ledger entry (simtime.MessageLedger) through
+        # the mailbox so the receive side can stamp the delivery.
         with self._cond:
-            self._pending.append((source, tag, payload))
+            self._pending.append((source, tag, payload, msg_id))
             self._cond.notify_all()
 
     def peek(self, source: int, tag: int):
         """Non-destructive match check; returns (source, tag) or None."""
         with self._cond:
-            for s, t, _payload in self._pending:
+            for s, t, _payload, _mid in self._pending:
                 if (source in (ANY_SOURCE, s)) and (tag in (ANY_TAG, t)):
                     return s, t
         return None
@@ -106,20 +108,20 @@ class _Mailbox:
     def try_get(self, source: int, tag: int):
         """Non-blocking matched receive; returns None when no match."""
         with self._cond:
-            for idx, (s, t, payload) in enumerate(self._pending):
+            for idx, (s, t, payload, mid) in enumerate(self._pending):
                 if (source in (ANY_SOURCE, s)) and (tag in (ANY_TAG, t)):
                     del self._pending[idx]
-                    return s, t, payload
+                    return s, t, payload, mid
         return None
 
     def get(self, source: int, tag: int, timeout: float | None):
         deadline = None
         with self._cond:
             while True:
-                for idx, (s, t, payload) in enumerate(self._pending):
+                for idx, (s, t, payload, mid) in enumerate(self._pending):
                     if (source in (ANY_SOURCE, s)) and (tag in (ANY_TAG, t)):
                         del self._pending[idx]
-                        return s, t, payload
+                        return s, t, payload, mid
                 if timeout is not None:
                     import time
 
@@ -163,6 +165,10 @@ class CommWorld:
         self.stats = [CommStats() for _ in range(size)]
         self._barrier = threading.Barrier(size)
         self._drop_lock = threading.Lock()
+        #: Optional :class:`repro.obs.simtime.MessageLedger`.  When the
+        #: launcher attaches one, every send/recv is stamped with Lamport
+        #: times; dropped messages stay in the ledger undelivered.
+        self.ledger = None
 
     def comm(self, rank: int) -> "Comm":
         return Comm(self, rank)
@@ -189,20 +195,31 @@ class Comm:
         # message-passing system would (and to measure payload size).
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         self._world.stats[self.rank].record_send(len(payload))
+        ledger = self._world.ledger
+        mid = (
+            None
+            if ledger is None
+            else ledger.on_send(self.rank, dest, len(payload), cause=tag)
+        )
         drop = self._world.drop_filter
         if drop is not None and drop(self.rank, dest, tag):
+            # The ledger entry stays undelivered — exactly how a lost
+            # message looks to a postmortem.
             with self._world._drop_lock:
                 self._world.messages_dropped += 1
             obs.counter("mpsim.messages_dropped")
             return
-        self._world.mailboxes[dest].put(self.rank, tag, payload)
+        self._world.mailboxes[dest].put(self.rank, tag, payload, mid)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: dict | None = None):
         """Blocking matched receive; returns the received object."""
-        s, t, payload = self._world.mailboxes[self.rank].get(
+        s, t, payload, mid = self._world.mailboxes[self.rank].get(
             source, tag, self._world.default_timeout
         )
         self._world.stats[self.rank].record_recv()
+        ledger = self._world.ledger
+        if ledger is not None and mid is not None:
+            ledger.on_recv(mid)
         if status is not None:
             status["source"] = s
             status["tag"] = t
@@ -223,16 +240,19 @@ class Comm:
         mailbox = self._world.mailboxes[self.rank]
         stats = self._world.stats[self.rank]
         timeout = self._world.default_timeout
+        world = self._world
 
         def poll(block: bool):
             if block:
-                _s, _t, payload = mailbox.get(source, tag, timeout)
+                _s, _t, payload, mid = mailbox.get(source, tag, timeout)
             else:
                 hit = mailbox.try_get(source, tag)
                 if hit is None:
                     return False, None
-                _s, _t, payload = hit
+                _s, _t, payload, mid = hit
             stats.record_recv()
+            if world.ledger is not None and mid is not None:
+                world.ledger.on_recv(mid)
             return True, pickle.loads(payload)
 
         return Request(poll=poll)

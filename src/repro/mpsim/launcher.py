@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import threading
 
+from ..obs import simtime
+from ..obs import trace as obs
 from .comm import CommWorld, MPSimError
 
 __all__ = ["run_parallel"]
@@ -24,10 +26,16 @@ def run_parallel(
     re-raised with rank context).  ``timeout`` bounds both individual
     receives and the total join, converting deadlocks into errors.
     ``drop_filter`` injects message loss (see :class:`CommWorld`).
+
+    When tracing is enabled, every message is stamped into a Lamport-clock
+    :class:`~repro.obs.simtime.MessageLedger` and the whole run lands in
+    the recorder as a ``SimRun`` (clock domain ``lamport``).
     """
     if nprocs < 1:
         raise ValueError("nprocs must be positive")
     world = CommWorld(nprocs, default_timeout=timeout, drop_filter=drop_filter)
+    if obs.is_enabled():
+        world.ledger = simtime.MessageLedger(nprocs)
     results: list = [None] * nprocs
     errors: list = [None] * nprocs
 
@@ -50,4 +58,7 @@ def run_parallel(
     for rank, exc in enumerate(errors):
         if exc is not None:
             raise MPSimError(f"rank {rank} failed: {exc!r}") from exc
+    if world.ledger is not None and world.ledger.messages:
+        name = getattr(fn, "__name__", "mpsim")
+        simtime.record_sim_run(world.ledger.to_sim_run(name=name))
     return results

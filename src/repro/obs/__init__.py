@@ -11,13 +11,26 @@ the persistent run registry behind ``python -m repro runs``.
 :mod:`repro.obs.memory` attaches RSS watermarks to spans,
 :mod:`repro.obs.profile` is the span-attributed sampling profiler, and
 :mod:`repro.obs.report` renders a recorded run as one self-contained
-HTML page.  See ``docs/observability.md``.
+HTML page.  :mod:`repro.obs.simtime` is the *simulated-clock* domain:
+message ledgers, communication matrices, critical-path extraction and
+λ attribution for the simulated machine.  See ``docs/observability.md``.
 """
 
 from . import runs, shard
 from .histogram import Histogram
 from .memory import MemoryMonitor, memory_enabled, monitored, rss_bytes
 from .profile import SamplingProfiler, profiled
+from .simtime import (
+    CriticalPath,
+    ImbalanceAttribution,
+    MessageLedger,
+    ProcTimes,
+    SimMessage,
+    SimRun,
+    busy_grid,
+    ledger_run,
+    record_sim_run,
+)
 from .export import (
     chrome_trace_json,
     summary_table,
@@ -53,6 +66,15 @@ __all__ = [
     "rss_bytes",
     "SamplingProfiler",
     "profiled",
+    "CriticalPath",
+    "ImbalanceAttribution",
+    "MessageLedger",
+    "ProcTimes",
+    "SimMessage",
+    "SimRun",
+    "busy_grid",
+    "ledger_run",
+    "record_sim_run",
     "Recorder",
     "SpanRecord",
     "TimelineEvent",

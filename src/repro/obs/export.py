@@ -42,6 +42,8 @@ __all__ = [
 _PID_PIPELINE = 1
 _PID_SIM = 2
 _PID_WORKER_BASE = 100
+#: Flow-arrow cap per trace: the heaviest messages only.
+_MAX_FLOWS = 2000
 
 
 def _jsonable(value):
@@ -82,6 +84,16 @@ def to_jsonl(recorder: Recorder) -> str:
         lines.append(json.dumps(
             {"type": "histogram", "name": name, **hist.to_dict()}, sort_keys=True
         ))
+    for run in recorder.sim_runs:
+        lines.append(json.dumps(
+            {"type": "sim_run", **run.to_manifest()}, sort_keys=True
+        ))
+        for m in run.messages:
+            lines.append(json.dumps({
+                "type": "sim_message", "run": run.name, "clock": run.clock,
+                "src": m.src, "dst": m.dst, "bytes": m.nbytes,
+                "cause": m.cause, "send": m.send, "recv": m.recv,
+            }, sort_keys=True))
     for t, rss in sorted(recorder.memory_samples):
         lines.append(json.dumps(
             {"type": "memory", "t": t, "rss_bytes": int(rss)}, sort_keys=True
@@ -159,6 +171,28 @@ def to_chrome_trace(recorder: Recorder) -> dict:
                 "p99": hist.percentile(99),
             },
         })
+    # Messages from the sim-clock ledger become Perfetto flow arrows on
+    # the simulated-machine process (same second clock domain as the
+    # timeline lanes above).  Capped at the heaviest _MAX_FLOWS so a
+    # 10⁴-message ledger does not drown the trace; the full ledger is
+    # always in the JSONL export.
+    flow_id = 0
+    for run in recorder.sim_runs:
+        delivered = [m for m in run.messages if m.recv is not None]
+        delivered.sort(key=lambda m: (-m.nbytes, m.send, m.src, m.dst))
+        for m in delivered[:_MAX_FLOWS]:
+            flow_id += 1
+            name = f"msg {m.src}->{m.dst} ({m.nbytes} el)"
+            events.append({
+                "ph": "s", "pid": _PID_SIM, "tid": m.src, "id": flow_id,
+                "name": name, "cat": f"sim-msg-{run.clock}", "ts": m.send,
+                "args": {"bytes": m.nbytes, "cause": m.cause, "run": run.name},
+            })
+            events.append({
+                "ph": "f", "pid": _PID_SIM, "tid": m.dst, "id": flow_id,
+                "name": name, "cat": f"sim-msg-{run.clock}", "ts": m.recv,
+                "bp": "e", "args": {"bytes": m.nbytes},
+            })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -168,6 +202,8 @@ def to_chrome_trace(recorder: Recorder) -> dict:
             "histograms": {
                 k: h.to_dict() for k, h in sorted(recorder.histograms.items())
             },
+            "sim_runs": [run.to_manifest(top_links=10)
+                         for run in recorder.sim_runs],
         },
     }
 
@@ -264,6 +300,24 @@ def summary_table(recorder: Recorder) -> str:
             ["lane", "events", "busy", "busy %"],
             rows,
             f"Simulated timeline ({len(recorder.timeline)} events, span {t_end:.0f} units)",
+        ))
+    if recorder.sim_runs:
+        rows = []
+        for run in recorder.sim_runs:
+            if run.n_units:
+                lam = f"{run.imbalance().imbalance:.3f}"
+                cp = f"{len(run.critical_path().units)}"
+            else:
+                lam = cp = "-"
+            rows.append([
+                run.name, run.scheme, run.nprocs, run.clock,
+                f"{run.makespan:.0f}", len(run.messages),
+                run.total_message_bytes(), lam, cp,
+            ])
+        parts.append(render_table(
+            ["run", "scheme", "P", "clock", "makespan", "msgs", "bytes",
+             "lambda", "cp units"],
+            rows, "Simulated machine (sim clock)",
         ))
     if not parts:
         return "(empty trace)"

@@ -21,7 +21,12 @@ it does not:
   distribution (``extra["histograms"]``);
 * **profiler top-N** — the self-time table of a ``profile`` run;
 * **delta vs previous** — the registry comparison against the prior
-  run of the same kind, the same rows the CI gate checks.
+  run of the same kind, the same rows the CI gate checks;
+* **simulated machine** — for ``explain`` runs (``extra["explain"]``,
+  built by :func:`repro.analysis.explain.explain_manifest`): the P×P
+  communication heatmap, the critical path with compute/wait split, the
+  λ-attribution waterfall with culprit blocks, and per-processor
+  busy/wait/idle stacks — all on the simulated clock.
 
 Styling follows the repo's chart conventions: colors are CSS custom
 properties with light and dark values (``prefers-color-scheme`` plus a
@@ -580,6 +585,259 @@ def _panel_delta(manifest: dict, previous: dict | None) -> str:
     )
 
 
+# -- explain panels (simulated machine, sim-clock domain) ---------------
+
+def _panel_explain_header(ex: dict) -> str:
+    rows = [
+        ["matrix", ex.get("matrix", ex.get("name", "?"))],
+        ["scheme", ex.get("scheme", "?")],
+        ["processors", ex.get("nprocs", "?")],
+        ["makespan (sim units)", _fmt(float(ex.get("makespan", 0.0)))],
+        ["idle fraction", f"{float(ex.get('idle_fraction', 0.0)):.3f}"],
+        ["traffic total (= ledger bytes)", ex.get("message_bytes", 0)],
+        ["messages", ex.get("n_messages", 0)],
+        ["work imbalance λ", f"{float(ex.get('work_imbalance', 0.0)):.3f}"],
+    ]
+    return (
+        "<section id='explain'><h2>Simulated machine</h2>"
+        "<figure><figcaption>headline figures — simulated clock "
+        "(abstract machine time), not wall clock</figcaption>"
+        + _table(["metric", "value"], rows, {1}) + "</figure></section>"
+    )
+
+
+def _panel_comm(ex: dict) -> str:
+    """P×P communication heatmap: sequential job, one hue via opacity."""
+    links = ex.get("links") or []
+    matrix = ex.get("comm_matrix")
+    if not links and not matrix:
+        return ""
+    figures = []
+    if matrix:
+        n = len(matrix)
+        vmax = max((v for row in matrix for v in row), default=0)
+        side = 520
+        cell = side / max(n, 1)
+        parts = [f'<svg viewBox="0 0 {side + 60} {side + 40}" role="img" '
+                 f'width="100%" preserveAspectRatio="xMinYMin meet">']
+        for p, row in enumerate(matrix):
+            for q, v in enumerate(row):
+                if not v:
+                    continue
+                # light→dark single hue: opacity carries the magnitude
+                op = 0.15 + 0.85 * (v / vmax) if vmax else 0.0
+                parts.append(
+                    f'<rect x="{40 + q * cell:.1f}" y="{10 + p * cell:.1f}" '
+                    f'width="{max(cell - 0.3, 0.7):.2f}" '
+                    f'height="{max(cell - 0.3, 0.7):.2f}" '
+                    f'fill="var(--accent)" fill-opacity="{op:.3f}">'
+                    f"<title>p{p} &#8592; p{q}: {v} elements</title></rect>"
+                )
+        parts.append(f'<text x="{40 + side / 2:.0f}" y="{side + 32}" '
+                     f'text-anchor="middle">sender q</text>')
+        parts.append(f'<text x="12" y="{10 + side / 2:.0f}" text-anchor="middle" '
+                     f'transform="rotate(-90 12 {10 + side / 2:.0f})">'
+                     "receiver p</text>")
+        parts.append(f'<line x1="40" y1="{10 + side}" x2="{40 + side}" '
+                     f'y2="{10 + side}" class="axis"/>')
+        parts.append(f'<line x1="40" y1="10" x2="40" y2="{10 + side}" '
+                     'class="axis"/>')
+        parts.append("</svg>")
+        used = sum(1 for row in matrix for v in row if v)
+        figures.append(
+            "<figure><figcaption>communication matrix C[p, q] = elements "
+            f"p fetches from q — {used} of {n * n} links used, heaviest "
+            f"{_fmt(vmax)} elements (hover a cell for the value)"
+            "</figcaption>" + "".join(parts)
+            + _table_view(["src", "dst", "elements"],
+                          [[l["src"], l["dst"], l["bytes"]] for l in links],
+                          {0, 1, 2})
+            + "</figure>"
+        )
+    elif links:
+        rows = [(f'p{l["src"]}→p{l["dst"]}', float(l["bytes"])) for l in links]
+        figures.append(
+            "<figure><figcaption>heaviest links (matrix omitted at this "
+            "processor count)</figcaption>"
+            + _bar_chart(rows, unit="elements")
+            + _table_view(["src", "dst", "elements"],
+                          [[l["src"], l["dst"], l["bytes"]] for l in links],
+                          {0, 1, 2})
+            + "</figure>"
+        )
+    return ("<section id='comm'><h2>Communication matrix</h2>"
+            + "".join(figures) + "</section>")
+
+
+def _panel_critical_path(ex: dict) -> str:
+    cp = ex.get("critical_path") or {}
+    units = cp.get("units") or []
+    if not units:
+        return ""
+    length = float(cp.get("length", 0.0)) or 1.0
+    compute = float(cp.get("compute", 0.0))
+    wait = float(cp.get("wait", 0.0))
+    # one stacked bar: compute (cat1) vs wait (cat2), 2px surface gap
+    w_total, h = 640, 22
+    w_c = (w_total - 2) * compute / length
+    bar = (
+        f'<svg viewBox="0 0 {w_total} {h + 18}" role="img" width="100%" '
+        'preserveAspectRatio="xMinYMin meet">'
+        f'<rect x="0" y="0" width="{w_c:.1f}" height="{h}" rx="4" '
+        'fill="var(--cat1)"/>'
+        f'<rect x="{w_c + 2:.1f}" y="0" width="{w_total - w_c - 2:.1f}" '
+        f'height="{h}" rx="4" fill="var(--cat2)"/>'
+        f'<text x="0" y="{h + 14}">compute {_fmt(compute)} '
+        f"({100 * compute / length:.0f}%) · wait {_fmt(wait)} "
+        f"({100 * wait / length:.0f}%)</text></svg>"
+    )
+    edge_counts: dict[str, int] = {}
+    for u in units:
+        e = u.get("edge", "?")
+        if e != "start":
+            edge_counts[e] = edge_counts.get(e, 0) + 1
+    edges_txt = ", ".join(f"{k}&#215;{v}" for k, v in sorted(edge_counts.items()))
+    shown = units[-40:]
+    rows = [[u["uid"], f'p{u["proc"]}', u["stage"], u.get("kind", "?"),
+             _fmt(float(u["start"])), _fmt(float(u["finish"])), u["edge"]]
+            for u in shown]
+    trunc = " (truncated)" if cp.get("truncated") else ""
+    cap = (f"{cp.get('n_units', len(units))} units{trunc}, length "
+           f"{_fmt(length)} = simulated makespan; links: {edges_txt or '-'}")
+    return (
+        "<section id='critical-path'><h2>Critical path</h2>"
+        f"<figure><figcaption>{cap}</figcaption>" + bar
+        + _legend([("compute", "cat1"), ("wait", "cat2")])
+        + "<details><summary>last "
+        + str(len(shown)) + " units</summary>"
+        + _table(["uid", "proc", "stage", "kind", "start", "finish",
+                  "released by"], rows, {0, 2, 4, 5})
+        + "</details></figure></section>"
+    )
+
+
+def _panel_imbalance(ex: dict) -> str:
+    imb = ex.get("imbalance") or {}
+    stages = imb.get("stages") or []
+    if not stages:
+        return ""
+    lam = float(imb.get("lambda", 0.0))
+    p_star = imb.get("proc", "?")
+    # waterfall: per-stage excess of the peak processor vs the stage
+    # mean — diverging job, cat2 above zero / cat1 below
+    w_total, bar_w_pad, h = 640, 2, 160
+    n = len(stages)
+    bw = max((w_total - 60) / max(n, 1) - bar_w_pad, 1.5)
+    vmax = max((abs(float(s["excess"])) for s in stages), default=1.0) or 1.0
+    mid = h / 2
+    parts = [f'<svg viewBox="0 0 {w_total} {h + 22}" role="img" width="100%" '
+             'preserveAspectRatio="xMinYMin meet">']
+    parts.append(f'<line x1="40" y1="{mid}" x2="{w_total - 10}" y2="{mid}" '
+                 'class="axis"/>')
+    for i, s in enumerate(stages):
+        v = float(s["excess"])
+        x = 45 + i * (bw + bar_w_pad)
+        bh = (mid - 12) * abs(v) / vmax
+        y = mid - bh if v >= 0 else mid
+        slot = "cat2" if v >= 0 else "cat1"
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bw:.1f}" '
+            f'height="{max(bh, 0.8):.1f}" rx="2" fill="var(--{slot})">'
+            f'<title>stage {s["stage"]}: excess {_fmt(v)}, '
+            f'stage λ {float(s.get("lambda_s", 0.0)):.2f}</title></rect>'
+        )
+        if n <= 16 or i % max(1, n // 12) == 0:
+            parts.append(f'<text x="{x + bw / 2:.1f}" y="{h + 16}" '
+                         f'text-anchor="middle">{_esc(s["stage"])}</text>')
+    parts.append(f'<text x="40" y="{h + 16}">stage</text>')
+    parts.append("</svg>")
+    culprits = imb.get("culprits") or []
+    rows = [[s["stage"], _fmt(float(s["excess"])), _fmt(float(s["peak_work"])),
+             _fmt(float(s["mean_work"])), f'{float(s.get("lambda_s", 0.0)):.3f}']
+            for s in sorted(stages, key=lambda r: -float(r["excess"]))]
+    out = (
+        "<section id='imbalance'><h2>Imbalance attribution</h2>"
+        f"<figure><figcaption>λ = {lam:.3f}, peak processor p{_esc(p_star)}; "
+        "bars show each stage's peak-processor excess over the stage mean "
+        "(Σ = λ·W<sub>ave</sub>)</figcaption>"
+        + "".join(parts)
+        + _legend([("excess (above mean)", "cat2"), ("deficit", "cat1")])
+        + _table_view(["stage", "excess", "peak work", "mean work", "stage λ"],
+                      rows, {0, 1, 2, 3, 4})
+        + "</figure>"
+    )
+    if culprits:
+        out += (
+            "<figure><figcaption>heaviest blocks on the peak processor"
+            "</figcaption>"
+            + _table(["uid", "stage", "kind", "work"],
+                     [[c["uid"], c["stage"], c.get("kind", "?"),
+                       _fmt(float(c["work"]))] for c in culprits],
+                     {0, 1, 3})
+            + "</figure>"
+        )
+    return out + "</section>"
+
+
+def _panel_proc_times(ex: dict) -> str:
+    pt = ex.get("proc_times") or {}
+    busy, wait, idle = pt.get("busy"), pt.get("wait"), pt.get("idle")
+    if not busy:
+        return ""
+    makespan = float(ex.get("makespan", 0.0)) or 1.0
+    n = len(busy)
+    w_total, h = 640, 170
+    bw = max((w_total - 50) / max(n, 1) - 2, 1.0)
+    parts = [f'<svg viewBox="0 0 {w_total} {h + 22}" role="img" width="100%" '
+             'preserveAspectRatio="xMinYMin meet">']
+    for p in range(n):
+        x = 45 + p * (bw + 2)
+        y = 10.0
+        segs = [(float(busy[p]), "cat1"), (float(wait[p]), "cat2"),
+                (float(idle[p]), "grid")]
+        tip = (f"p{p}: busy {_fmt(segs[0][0])}, wait {_fmt(segs[1][0])}, "
+               f"idle {_fmt(segs[2][0])}")
+        for v, slot in segs:
+            sh = (h - 10) * v / makespan
+            if sh <= 0:
+                continue
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bw:.1f}" '
+                f'height="{max(sh - 2, 0.8):.1f}" rx="2" '
+                f'fill="var(--{slot})"><title>{tip}</title></rect>'
+            )
+            y += sh
+        if n <= 16 or p % max(1, n // 12) == 0:
+            parts.append(f'<text x="{x + bw / 2:.1f}" y="{h + 16}" '
+                         f'text-anchor="middle">{p}</text>')
+    parts.append(f'<text x="40" y="{h + 16}">proc</text>')
+    parts.append("</svg>")
+    rows = [[p, _fmt(float(busy[p])), _fmt(float(wait[p])),
+             _fmt(float(idle[p]))] for p in range(n)]
+    return (
+        "<section id='proc-times'><h2>Processor time</h2>"
+        "<figure><figcaption>per-processor makespan decomposition "
+        "(busy + wait + idle = makespan, top to bottom)</figcaption>"
+        + "".join(parts)
+        + _legend([("busy", "cat1"), ("wait", "cat2"), ("idle", "grid")])
+        + _table_view(["proc", "busy", "wait", "idle"], rows, {0, 1, 2, 3})
+        + "</figure></section>"
+    )
+
+
+def _panels_explain(manifest: dict) -> str:
+    ex = manifest.get("explain")
+    if not isinstance(ex, dict):
+        return ""
+    return (
+        _panel_explain_header(ex)
+        + _panel_comm(ex)
+        + _panel_critical_path(ex)
+        + _panel_imbalance(ex)
+        + _panel_proc_times(ex)
+    )
+
+
 # -- assembly -----------------------------------------------------------
 
 def build_report(manifest: dict, previous: dict | None = None) -> str:
@@ -589,6 +847,7 @@ def build_report(manifest: dict, previous: dict | None = None) -> str:
         _panel_header(manifest),
         "<main>",
         _panel_stages(manifest),
+        _panels_explain(manifest),
         _panel_memory(manifest),
         _panel_sweep(manifest),
         _panel_histograms(manifest),

@@ -141,7 +141,9 @@ def record_run(
 
 
 def list_runs(root: str | Path | None = None, kind: str | None = None) -> list[dict]:
-    """Every recorded manifest, oldest first; bad lines are skipped."""
+    """Every recorded manifest, oldest first with same-second ties
+    broken by run id — a total order, so CI log diffs are
+    deterministic; bad lines are skipped."""
     path = Path(root) if root is not None else default_runs_dir()
     manifests: list[dict] = []
     if not path.is_dir():
@@ -157,7 +159,9 @@ def list_runs(root: str | Path | None = None, kind: str | None = None) -> list[d
                 continue
             if isinstance(doc, dict) and (kind is None or doc.get("kind") == kind):
                 manifests.append(doc)
-    manifests.sort(key=lambda m: m.get("created_unix", 0.0))
+    manifests.sort(
+        key=lambda m: (m.get("created_unix", 0.0), str(m.get("run_id", "")))
+    )
     return manifests
 
 

@@ -113,6 +113,10 @@ class Recorder:
         self.gauges: dict[str, object] = {}
         self.histograms: dict[str, Histogram] = {}
         self.timeline: list[TimelineEvent] = []
+        #: Simulated-machine executions (:class:`repro.obs.simtime.SimRun`)
+        #: appended by :func:`repro.obs.simtime.record_sim_run` — the
+        #: sim-clock domain, distinct from wall-clock spans.
+        self.sim_runs: list = []
         #: ``(t_rel_epoch, rss_bytes)`` samples appended by an attached
         #: :class:`repro.obs.memory.MemoryMonitor`.
         self.memory_samples: list[tuple[float, int]] = []
@@ -235,6 +239,11 @@ class Recorder:
         with self._lock:
             self.timeline.append(TimelineEvent(name, float(ts), float(dur), int(lane), track, args))
 
+    def add_sim_run(self, run) -> None:
+        """Record one simulated-machine execution (a ``simtime.SimRun``)."""
+        with self._lock:
+            self.sim_runs.append(run)
+
     # -- queries --------------------------------------------------------
     def spans_named(self, name: str) -> list[SpanRecord]:
         return [s for s in self.spans if s.name == name]
@@ -246,6 +255,7 @@ class Recorder:
             or self.gauges
             or self.histograms
             or self.timeline
+            or self.sim_runs
             or self.memory_samples
         )
 

@@ -42,6 +42,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BIG_BENCH_MATRICES",
     "BIG_SWEEP_MATRICES",
+    "STRETCH_BENCH_MATRICES",
     "STAGES",
     "SWEEP_BENCH_GRID",
     "SWEEP_BENCH_SMOKE_GRID",
@@ -89,6 +90,10 @@ SMOKE_MATRICES = {
 #: the extra repeats suppress is small relative to big-tier durations.
 BIG_BENCH_MATRICES = ("GRIDA100K", "HEX100K", "SOC100K")
 BIG_BENCH_SMOKE_MATRICES = ("SOC100K",)
+#: 10^6-unknown stretch instances, appended to the big-tier pipeline
+#: bench only behind ``--tier big --stretch`` (minutes per matrix,
+#: multi-GB RSS — never part of any default or smoke selection).
+STRETCH_BENCH_MATRICES = ("GRIDA1M", "SOC1M")
 #: Big-tier sweep bench set.  The smoke variant uses the *same grid* as
 #: the full run (only fewer matrices), so the regression gate always
 #: compares like-for-like cells.
@@ -192,6 +197,7 @@ def bench_pipeline(
     repeats: int | None = None,
     stamp: bool = True,
     tier: str = "paper",
+    stretch: bool = False,
 ) -> dict:
     """Benchmark the pipeline stages and write the JSON report.
 
@@ -199,19 +205,31 @@ def bench_pipeline(
     smoke grids when ``smoke`` is set.  ``tier="big"`` switches the
     defaults to the 10^5-unknown generated instances
     (:data:`BIG_BENCH_MATRICES`; ``smoke`` then selects the single
-    smallest instance instead of the tiny grids) and to one repeat.
-    ``repeats`` defaults to :data:`FULL_MODE_REPEATS` (best-of-N) in
-    full paper mode and 1 otherwise.  ``stamp=False`` omits the
-    ``created_unix`` timestamp so two runs of the same tree produce
-    byte-identical reports; comparisons (:func:`compare_reports`) never
-    look at the timestamp either way.  Returns the report dict; writes
-    it to ``out`` unless ``out`` is ``None``.
+    smallest instance instead of the tiny grids) and to one repeat;
+    ``stretch`` additionally appends the 10^6-unknown instances
+    (:data:`STRETCH_BENCH_MATRICES`) to the big-tier default set — it
+    is an error outside the big tier and is ignored in smoke mode
+    (smoke exists to be fast; a 10^6 instance is minutes).  ``repeats`` defaults to
+    :data:`FULL_MODE_REPEATS` (best-of-N) in full paper mode and 1
+    otherwise.  ``stamp=False`` omits the ``created_unix`` timestamp so
+    two runs of the same tree produce byte-identical reports;
+    comparisons (:func:`compare_reports`) never look at the timestamp
+    either way.  Returns the report dict; writes it to ``out`` unless
+    ``out`` is ``None``.
     """
     tier = _tier_checked(tier)
+    if stretch and tier != "big":
+        raise ValueError("--stretch needs --tier big (the 10^6 instances "
+                         "are part of the big-tier bench)")
     if tier == "big":
-        names = list(matrices) if matrices else list(
-            BIG_BENCH_SMOKE_MATRICES if smoke else BIG_BENCH_MATRICES
-        )
+        if matrices:
+            names = list(matrices)
+        else:
+            names = list(
+                BIG_BENCH_SMOKE_MATRICES if smoke else BIG_BENCH_MATRICES
+            )
+            if stretch and not smoke:
+                names += list(STRETCH_BENCH_MATRICES)
         problems = {name: registry.load(name) for name in names}
     elif smoke:
         problems = {name: build() for name, build in SMOKE_MATRICES.items()}

@@ -175,3 +175,41 @@ class TestSweepTarget:
                      "--grains", "4", "-q",
                      "--cache-dir", str(tmp_path / "cache")]) == 0
         assert json.loads(out.read_text())["traceEvents"]
+
+
+class TestExplainTarget:
+    def test_explain_writes_registry_run_and_report(self, tmp_path, capsys,
+                                                    monkeypatch):
+        from repro.obs import runs as obs_runs
+
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "registry"))
+        out = tmp_path / "explain.html"
+        assert main(["explain", "LAP30", "--scheme", "wrap", "-p", "16",
+                     "--output", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "critical path" in text
+        assert "registry run" in text
+
+        (manifest,) = obs_runs.list_runs(kind="explain")
+        doc = manifest["explain"]
+        assert doc["scheme"] == "wrap" and doc["nprocs"] == 16
+        assert doc["message_bytes"] == doc["traffic_total"]
+        assert manifest["counters"]["explain.message_bytes"] == doc["message_bytes"]
+
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>") or "<html" in html
+        for anchor in ("Communication matrix", "Critical path",
+                       "Imbalance", "Processor time"):
+            assert anchor in html
+        # Self-contained: no external fetches.
+        assert "http://" not in html and "https://" not in html
+
+    def test_explain_positional_matrix(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "registry"))
+        monkeypatch.chdir(tmp_path)
+        assert main(["explain", "LAP30"]) == 0
+        assert (tmp_path / "EXPLAIN_LAP30_block_p16.html").exists()
+
+    def test_explain_rejects_unknown_scheme(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["explain", "LAP30", "--scheme", "nosuch"])

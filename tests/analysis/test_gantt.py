@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import render_gantt
+from repro.analysis import render_gantt, render_gantt_reference
 from repro.core import block_mapping, wrap_mapping
 from repro.machine import MachineModel, simulate_schedule
 
@@ -55,3 +55,26 @@ class TestGantt:
         r, tl = timeline
         with pytest.raises(ValueError):
             render_gantt(r.assignment, tl, width=5)
+
+
+class TestGanttIdentity:
+    """The shared busy_grid raster must reproduce the original inline
+    loop character-for-character on the bundled paper matrices."""
+
+    @pytest.mark.parametrize(
+        "matrix", ["BUS1138", "CANN1072", "DWT512", "LAP30", "LSHP1009"]
+    )
+    @pytest.mark.parametrize("width", [40, 72])
+    def test_matches_reference(self, matrix, width):
+        from repro.analysis.experiments import prepared_matrix
+
+        prep = prepared_matrix(matrix)
+        r = block_mapping(prep, 16, grain=4)
+        tl = simulate_schedule(r.assignment, r.dependencies, prep.updates)
+        assert render_gantt(r.assignment, tl, width=width) == \
+            render_gantt_reference(r.assignment, tl, width=width)
+
+    def test_matches_reference_zero_alpha(self, timeline):
+        r, tl = timeline
+        assert render_gantt(r.assignment, tl) == \
+            render_gantt_reference(r.assignment, tl)

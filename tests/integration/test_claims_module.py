@@ -8,9 +8,14 @@ from repro.analysis import check_claims, render_claims
 class TestClaims:
     def test_all_claims_hold_on_lap30(self):
         results = check_claims("LAP30")
-        assert len(results) == 4
+        assert len(results) == 5
         for r in results:
             assert r.holds, f"{r.claim}: {r.evidence}"
+
+    def test_c5_simulated_communication_bound(self):
+        (c5,) = [r for r in check_claims("LAP30") if r.claim == "C5"]
+        assert c5.holds, c5.evidence
+        assert "links" in c5.evidence and "critical path" in c5.evidence
 
     def test_render(self):
         out = render_claims("LAP30")

@@ -185,3 +185,44 @@ class TestSummaryTable:
         text = summary_table(recorded)
         # lane 0 busy 4 of 6 units = 66.7%, lane 1 busy 2 of 6 = 33.3%
         assert "66.7%" in text and "33.3%" in text
+
+
+class TestSimRunExport:
+    @pytest.fixture
+    def recorded_sim(self):
+        from repro.obs.simtime import SimMessage, ledger_run, record_sim_run
+
+        msgs = [
+            SimMessage(src=0, dst=1, nbytes=40, cause=3, send=1.0, recv=2.0),
+            SimMessage(src=1, dst=0, nbytes=10, cause=4, send=2.0, recv=3.0),
+            SimMessage(src=0, dst=1, nbytes=5, cause=5, send=3.0, recv=None),
+        ]
+        with trace.enabled() as rec:
+            record_sim_run(ledger_run("demo", "wrap", 2, 3.0, msgs))
+        return rec
+
+    def test_jsonl_carries_sim_run_and_messages(self, recorded_sim):
+        records = [json.loads(line) for line in
+                   to_jsonl(recorded_sim).splitlines()]
+        (run,) = [r for r in records if r["type"] == "sim_run"]
+        assert run["name"] == "demo" and run["message_bytes"] == 55
+        msgs = [r for r in records if r["type"] == "sim_message"]
+        assert len(msgs) == 3
+        assert {m["src"] for m in msgs} == {0, 1}
+        undelivered = [m for m in msgs if m["recv"] is None]
+        assert len(undelivered) == 1
+
+    def test_chrome_trace_flow_events(self, recorded_sim):
+        doc = to_chrome_trace(recorded_sim)
+        starts = [e for e in doc["traceEvents"] if e.get("ph") == "s"]
+        ends = [e for e in doc["traceEvents"] if e.get("ph") == "f"]
+        # Only delivered messages become flow arrows.
+        assert len(starts) == len(ends) == 2
+        assert all(e["bp"] == "e" for e in ends)
+        assert {e["id"] for e in starts} == {e["id"] for e in ends}
+        assert doc["otherData"]["sim_runs"][0]["name"] == "demo"
+
+    def test_summary_mentions_sim_clock(self, recorded_sim):
+        text = summary_table(recorded_sim)
+        assert "Simulated machine" in text
+        assert "demo" in text

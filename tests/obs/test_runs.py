@@ -79,6 +79,28 @@ class TestListRuns:
             fh.write("{not json}\n\n")
         assert [x["run_id"] for x in runs.list_runs()] == [m["run_id"]]
 
+    def test_same_second_ties_broken_by_run_id(self, registry):
+        """created_unix has one-second granularity in the human stamp;
+        same-timestamp manifests must still list in one deterministic
+        order (by run id), so CI log diffs are stable."""
+        docs = [
+            {"kind": "sweep", "created_unix": 100.0, "run_id": f"sweep-x-{c}"}
+            for c in "cab"
+        ]
+        registry.mkdir(parents=True, exist_ok=True)
+        with open(registry / "sweep.jsonl", "w") as fh:
+            for d in docs:
+                fh.write(json.dumps(d) + "\n")
+        listed = [m["run_id"] for m in runs.list_runs()]
+        assert listed == ["sweep-x-a", "sweep-x-b", "sweep-x-c"]
+
+    def test_explain_kind_filter(self, registry):
+        runs.record_run("bench")
+        e = runs.record_run("explain", extra={"explain": {"makespan": 1.0}})
+        listed = runs.list_runs(kind="explain")
+        assert [m["run_id"] for m in listed] == [e["run_id"]]
+        assert listed[0]["explain"] == {"makespan": 1.0}
+
 
 class TestLoadRun:
     def test_latest(self, registry):

@@ -159,3 +159,50 @@ class TestBaselineComparison:
         assert "speedup" in text
         assert "wall_total" in text
         assert render_delta(current, {"matrices": {}}).startswith("(no comparable")
+
+
+class TestStretchSelection:
+    """--stretch appends the 10^6 instances to the big-tier defaults
+    without ever loading them in these tests (load is stubbed)."""
+
+    @staticmethod
+    def _selected_names(monkeypatch, **kwargs):
+        from repro.perf import bench as bench_mod
+
+        loaded = []
+
+        def fake_load(name):
+            loaded.append(name)
+            return object()
+
+        monkeypatch.setattr(bench_mod.registry, "load", fake_load)
+        monkeypatch.setattr(
+            bench_mod, "_bench_one",
+            lambda name, graph, nprocs, grain, repeats: {
+                "stages": {}, "wall_total": 0.0,
+            },
+        )
+        bench_pipeline(tier="big", out=None, stamp=False, **kwargs)
+        return loaded
+
+    def test_stretch_appends_million_instances(self, monkeypatch):
+        from repro.perf.bench import BIG_BENCH_MATRICES, STRETCH_BENCH_MATRICES
+
+        names = self._selected_names(monkeypatch, stretch=True)
+        assert names == list(BIG_BENCH_MATRICES) + list(STRETCH_BENCH_MATRICES)
+
+    def test_default_big_tier_excludes_stretch(self, monkeypatch):
+        from repro.perf.bench import BIG_BENCH_MATRICES
+
+        names = self._selected_names(monkeypatch, stretch=False)
+        assert names == list(BIG_BENCH_MATRICES)
+
+    def test_smoke_ignores_stretch(self, monkeypatch):
+        from repro.perf.bench import BIG_BENCH_SMOKE_MATRICES
+
+        names = self._selected_names(monkeypatch, stretch=True, smoke=True)
+        assert names == list(BIG_BENCH_SMOKE_MATRICES)
+
+    def test_stretch_outside_big_tier_rejected(self):
+        with pytest.raises(ValueError, match="tier big"):
+            bench_pipeline(tier="paper", stretch=True, out=None)
